@@ -1,0 +1,129 @@
+/// \file bench_micro.cpp
+/// google-benchmark microbenchmarks of the performance-critical kernels:
+/// the oblivious channel-load accumulation, the memoized MCL evaluator, the
+/// simplex solver, the cycle-level simulator and the orientation machinery.
+/// These are the kernels whose cost determines the §V-B optimization time.
+
+#include <benchmark/benchmark.h>
+
+#include "core/subproblem.hpp"
+#include "lp/simplex.hpp"
+#include "mapping/hilbert.hpp"
+#include "mapping/permutation.hpp"
+#include "routing/evaluator.hpp"
+#include "routing/oblivious.hpp"
+#include "simnet/simulator.hpp"
+#include "topology/orientation.hpp"
+#include "topology/presets.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace rahtm;
+
+void BM_UniformMinimalAccumulate(benchmark::State& state) {
+  const Torus t = bgqPartition512();
+  ChannelLoadMap loads(t);
+  const Coord src = t.coordOf(0);
+  const Coord dst = t.coordOf(static_cast<NodeId>(t.numNodes() - 1));
+  for (auto _ : state) {
+    accumulateUniformMinimal(t, src, dst, 100.0, loads);
+    benchmark::DoNotOptimize(loads.raw().data());
+  }
+}
+BENCHMARK(BM_UniformMinimalAccumulate);
+
+void BM_PlacementMclCold(benchmark::State& state) {
+  const Torus t = Torus::torus(Shape{2, 2, 2});
+  const Workload w = makeCG(8);
+  const CommGraph g = w.commGraph();
+  std::vector<NodeId> place(8);
+  for (NodeId n = 0; n < 8; ++n) place[static_cast<std::size_t>(n)] = n;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placementMcl(t, g, place));
+  }
+}
+BENCHMARK(BM_PlacementMclCold);
+
+void BM_MclEvaluatorWarm(benchmark::State& state) {
+  const Torus t = Torus::torus(Shape{2, 2, 2});
+  const Workload w = makeCG(8);
+  const CommGraph g = w.commGraph();
+  std::vector<NodeId> place(8);
+  for (NodeId n = 0; n < 8; ++n) place[static_cast<std::size_t>(n)] = n;
+  MclEvaluator evaluator(t);
+  evaluator.mcl(g, place);  // warm the pair cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.mcl(g, place));
+  }
+}
+BENCHMARK(BM_MclEvaluatorWarm);
+
+void BM_ExhaustiveLeafSolve(benchmark::State& state) {
+  const Torus cube = Torus::mesh(Shape{2, 2, 2});
+  CommGraph g(8);
+  for (RankId r = 0; r < 8; ++r) {
+    g.addExchange(r, (r + 1) % 8, 10);
+    g.addExchange(r, (r + 2) % 8, 5);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exhaustiveSearch(g, cube, MapObjective::Mcl).objective);
+  }
+}
+BENCHMARK(BM_ExhaustiveLeafSolve)->Unit(benchmark::kMillisecond);
+
+void BM_SimplexTextbook(benchmark::State& state) {
+  using namespace rahtm::lp;
+  for (auto _ : state) {
+    Model m;
+    const VarId x = m.addContinuous("x", 0, infinity(), 3);
+    const VarId y = m.addContinuous("y", 0, infinity(), 5);
+    m.setObjective(Objective::Maximize);
+    m.addConstraint("c1", {{x, 1}}, Sense::LessEq, 4);
+    m.addConstraint("c2", {{y, 2}}, Sense::LessEq, 12);
+    m.addConstraint("c3", {{x, 3}, {y, 2}}, Sense::LessEq, 18);
+    benchmark::DoNotOptimize(solveLp(m).objective);
+  }
+}
+BENCHMARK(BM_SimplexTextbook);
+
+void BM_SimulatorPhase(benchmark::State& state) {
+  const Torus t = torus32();
+  const int c = 2;
+  const Workload w = makeCG(static_cast<RankId>(t.numNodes() * c));
+  DefaultMapper mapper;
+  const Mapping m = mapper.map(w.commGraph(), t, c);
+  simnet::SimConfig cfg;
+  cfg.injectionBandwidth = 4;
+  std::int64_t flits = 0;
+  for (auto _ : state) {
+    for (const simnet::Phase& phase : w.phases) {
+      const auto r = simulatePhase(t, m, phase, cfg);
+      flits += r.networkFlits;
+      benchmark::DoNotOptimize(r.cycles);
+    }
+  }
+  state.SetItemsProcessed(flits);
+}
+BENCHMARK(BM_SimulatorPhase)->Unit(benchmark::kMillisecond);
+
+void BM_EnumerateOrientations(benchmark::State& state) {
+  const Shape shape{2, 2, 2, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerateOrientations(shape).size());
+  }
+}
+BENCHMARK(BM_EnumerateOrientations);
+
+void BM_HilbertCurve(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hilbertIndexToCoords(i++ & 0xff, 2, 4));
+  }
+}
+BENCHMARK(BM_HilbertCurve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

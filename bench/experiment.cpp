@@ -1,0 +1,148 @@
+#include "bench/experiment.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "graph/stats.hpp"
+#include "mapping/hilbert.hpp"
+#include "mapping/permutation.hpp"
+#include "mapping/rubik.hpp"
+#include "profile/profile.hpp"
+#include "routing/oblivious.hpp"
+#include "topology/presets.hpp"
+
+namespace rahtm::bench {
+
+namespace {
+
+std::int64_t envInt(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoll(v);
+}
+
+/// The paper's ACEBDT permutation interleaves odd-position dimensions
+/// before even ones; build the analogue for any dimensionality.
+std::string interleavedSpec(std::size_t ndims) {
+  std::string spec;
+  for (std::size_t d = 0; d < ndims; d += 2) {
+    spec += static_cast<char>('A' + d);
+  }
+  for (std::size_t d = 1; d < ndims; d += 2) {
+    spec += static_cast<char>('A' + d);
+  }
+  return spec + "T";
+}
+
+std::string canonicalSpec(std::size_t ndims) {
+  std::string spec;
+  for (std::size_t d = 0; d < ndims; ++d) spec += static_cast<char>('A' + d);
+  return spec + "T";
+}
+
+}  // namespace
+
+ExperimentScale ExperimentScale::fromEnv() {
+  ExperimentScale scale;
+  const std::int64_t nodes = envInt("RAHTM_NODES", 128);
+  switch (nodes) {
+    case 32: scale.machine = torus32(); break;
+    case 128: scale.machine = bgqPartition128(); break;
+    case 512: scale.machine = bgqPartition512(); break;
+    default:
+      throw ParseError("RAHTM_NODES must be 32, 128 or 512");
+  }
+  scale.concentration = static_cast<int>(envInt("RAHTM_CONC", 8));
+  scale.simIterations = static_cast<int>(envInt("RAHTM_SIM_ITERS", 4));
+  scale.params.messageBytes = envInt("RAHTM_BYTES", 4096);
+  // BG/Q-like NIC: injection outruns a single link so network contention —
+  // the effect RAHTM optimizes — is visible (DESIGN.md §1).
+  scale.sim.injectionBandwidth = 4;
+  return scale;
+}
+
+std::vector<std::unique_ptr<TaskMapper>> paperRoster(
+    const ExperimentScale& scale) {
+  const std::size_t n = scale.machine.ndims();
+  std::vector<std::unique_ptr<TaskMapper>> roster;
+  roster.push_back(std::make_unique<DefaultMapper>());
+  roster.push_back(std::make_unique<PermutationMapper>("T" + canonicalSpec(n).substr(0, n)));
+  roster.push_back(std::make_unique<PermutationMapper>(interleavedSpec(n)));
+  roster.push_back(std::make_unique<HilbertMapper>());
+  roster.push_back(std::make_unique<RubikMapper>(
+      RubikMapper::autoFor(scale.ranks(), scale.machine, scale.concentration)));
+  roster.push_back(std::make_unique<RahtmMapper>());
+  return roster;
+}
+
+std::vector<MapperRun> runStudy(const Workload& workload,
+                                const ExperimentScale& scale) {
+  const CommGraph graph = workload.commGraph();
+  std::vector<MapperRun> out;
+  for (auto& mapper : paperRoster(scale)) {
+    MapperRun run;
+    run.mapper = mapper->name();
+    Timer t;
+    Mapping m;
+    if (auto* rahtm = dynamic_cast<RahtmMapper*>(mapper.get())) {
+      m = rahtm->mapWorkload(workload, scale.machine, scale.concentration);
+    } else {
+      m = mapper->map(graph, scale.machine, scale.concentration);
+    }
+    run.mapSeconds = t.seconds();
+    const std::string err = m.validate(scale.machine, scale.concentration);
+    RAHTM_REQUIRE(err.empty(), run.mapper + ": invalid mapping: " + err);
+    run.commCycles = static_cast<double>(commCyclesPerIteration(
+        workload, scale.machine, m, scale.sim, IterationModel::RankPipelined,
+        scale.simIterations));
+    run.mcl = placementMcl(scale.machine, graph, m.nodeVector());
+    run.hopBytes = hopBytes(graph, scale.machine, m.nodeVector());
+    out.push_back(run);
+  }
+  return out;
+}
+
+double geomean(const std::vector<double>& values) {
+  RAHTM_REQUIRE(!values.empty(), "geomean: empty input");
+  double logSum = 0;
+  for (const double v : values) {
+    RAHTM_REQUIRE(v > 0, "geomean: non-positive value");
+    logSum += std::log(v);
+  }
+  return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+void printRelativeTable(const std::string& title,
+                        const std::vector<std::string>& benchmarkNames,
+                        const std::vector<std::vector<MapperRun>>& runs,
+                        double MapperRun::*metric) {
+  std::cout << title << "\n";
+  std::cout << std::left << std::setw(10) << "mapping";
+  for (const std::string& b : benchmarkNames) {
+    std::cout << std::right << std::setw(10) << b;
+  }
+  std::cout << std::right << std::setw(10) << "geomean" << "\n";
+
+  const std::size_t mappers = runs.front().size();
+  for (std::size_t mi = 0; mi < mappers; ++mi) {
+    std::cout << std::left << std::setw(10) << runs.front()[mi].mapper;
+    std::vector<double> ratios;
+    for (const auto& benchRuns : runs) {
+      const double base = benchRuns.front().*metric;
+      const double v = benchRuns[mi].*metric;
+      const double ratio = base > 0 ? v / base : 1.0;
+      ratios.push_back(ratio);
+      std::cout << std::right << std::setw(9) << std::fixed
+                << std::setprecision(1) << 100.0 * ratio << "%";
+    }
+    std::cout << std::right << std::setw(9) << std::fixed
+              << std::setprecision(1) << 100.0 * geomean(ratios) << "%\n";
+    std::cout.unsetf(std::ios::fixed);
+    std::cout << std::setprecision(6);
+  }
+}
+
+}  // namespace rahtm::bench

@@ -1,0 +1,71 @@
+#pragma once
+/// \file experiment.hpp
+/// Shared infrastructure for the paper-reproduction benchmark harnesses
+/// (one binary per table/figure — see DESIGN.md §3).
+///
+/// The experiment scale is configurable through environment variables so
+/// the same binaries drive laptop-scale and near-paper-scale runs:
+///   RAHTM_NODES = 32 | 128 (default) | 512   machine size
+///   RAHTM_CONC  = ranks per node (default 2; the paper used 32)
+///   RAHTM_BYTES = per-message bytes of the NAS generators (default 4096)
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rahtm.hpp"
+#include "mapping/mapping.hpp"
+#include "simnet/simulator.hpp"
+#include "topology/torus.hpp"
+#include "workloads/workload.hpp"
+
+namespace rahtm::bench {
+
+struct ExperimentScale {
+  Torus machine = Torus::torus(Shape{4, 4, 4, 2});
+  int concentration = 2;
+  NasParams params;
+  simnet::SimConfig sim;
+  /// Back-to-back iterations simulated per measurement (steady state).
+  int simIterations = 4;
+
+  RankId ranks() const {
+    return static_cast<RankId>(machine.numNodes() * concentration);
+  }
+
+  /// Read the scale from the environment (see file header).
+  static ExperimentScale fromEnv();
+};
+
+/// One mapper's results on one workload.
+struct MapperRun {
+  std::string mapper;
+  double commCycles = 0;  ///< simulated communication cycles per iteration
+  double mcl = 0;         ///< oblivious-model max channel load
+  double hopBytes = 0;
+  double mapSeconds = 0;  ///< offline mapping time
+};
+
+/// The paper's mapping roster (§IV): ABCDET default, two other dimension
+/// permutations, Hilbert, Rubik-style hierarchical tiling, RAHTM.
+/// Permutation specs are adapted to the machine's dimensionality
+/// (e.g. ABCDT / TABCD / ACBDT on a 4-D machine).
+std::vector<std::unique_ptr<TaskMapper>> paperRoster(
+    const ExperimentScale& scale);
+
+/// Map the workload with every mapper of the roster and simulate one
+/// iteration's phases under each mapping.
+std::vector<MapperRun> runStudy(const Workload& workload,
+                                const ExperimentScale& scale);
+
+/// Geometric mean of positive values.
+double geomean(const std::vector<double>& values);
+
+/// Print a "relative to first column" percentage table:
+/// rows = mappers, columns = benchmarks (+ geomean).
+void printRelativeTable(const std::string& title,
+                        const std::vector<std::string>& benchmarkNames,
+                        const std::vector<std::vector<MapperRun>>& runs,
+                        double MapperRun::*metric);
+
+}  // namespace rahtm::bench

@@ -1,0 +1,85 @@
+/// \file collective_mapping.cpp
+/// The paper's §VI extension in action: mapping *collective* communication.
+///
+/// RAHTM only needs "the identities of the communicating processes and the
+/// (relative) amounts of communication between them" — once a collective's
+/// implementation is known, its point-to-point pattern can be expanded and
+/// mapped like any other traffic. This example expands several classic
+/// implementations, maps each with RAHTM vs the ABCDET default, and
+/// simulates the resulting execution time.
+///
+/// Usage: collective_mapping [--bytes 8192] [--nodes 32|128|512]
+///                           [--concentration 2]
+
+#include <iomanip>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "core/rahtm.hpp"
+#include "mapping/permutation.hpp"
+#include "profile/profile.hpp"
+#include "routing/oblivious.hpp"
+#include "topology/presets.hpp"
+#include "workloads/collectives.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rahtm;
+  try {
+    const CliArgs args(argc, argv);
+    const std::int64_t nodes = args.getInt("nodes", 32);
+    const int concentration = static_cast<int>(args.getInt("concentration", 2));
+    const std::int64_t bytes = args.getInt("bytes", 8192);
+
+    Torus machine = torus32();
+    if (nodes == 128) machine = bgqPartition128();
+    else if (nodes == 512) machine = bgqPartition512();
+
+    const auto ranks = static_cast<RankId>(machine.numNodes() * concentration);
+    simnet::SimConfig sim;
+    sim.injectionBandwidth = 4;
+
+    std::cout << "Collective mapping study: " << ranks << " ranks on "
+              << machine.describe() << ", " << bytes << " B payload\n\n";
+    std::cout << std::left << std::setw(24) << "collective" << std::right
+              << std::setw(14) << "ABCDET cyc" << std::setw(13) << "RAHTM cyc"
+              << std::setw(10) << "speedup" << std::setw(14) << "MCL ratio"
+              << "\n";
+
+    for (const CollectiveAlgorithm algorithm : {
+             CollectiveAlgorithm::AllgatherRecursiveDoubling,
+             CollectiveAlgorithm::AllgatherRing,
+             CollectiveAlgorithm::AllgatherDissemination,
+             CollectiveAlgorithm::AllreduceRabenseifner,
+             CollectiveAlgorithm::BroadcastBinomial,
+             CollectiveAlgorithm::AlltoallPairwise,
+         }) {
+      const Workload w = makeCollectiveWorkload(algorithm, ranks, bytes);
+      const CommGraph g = w.commGraph();
+      DefaultMapper def;
+      const Mapping mb = def.map(g, machine, concentration);
+      RahtmMapper rahtm;
+      const Mapping mr = rahtm.mapWorkload(w, machine, concentration);
+
+      const auto cb = static_cast<double>(commCyclesPerIteration(
+          w, machine, mb, sim, IterationModel::RankPipelined, 2));
+      const auto cr = static_cast<double>(commCyclesPerIteration(
+          w, machine, mr, sim, IterationModel::RankPipelined, 2));
+      const double mclB = placementMcl(machine, g, mb.nodeVector());
+      const double mclR = placementMcl(machine, g, mr.nodeVector());
+      std::cout << std::left << std::setw(24) << w.name << std::right
+                << std::setw(14) << cb << std::setw(13) << cr << std::setw(9)
+                << std::fixed << std::setprecision(2) << (cr > 0 ? cb / cr : 0)
+                << "x" << std::setw(13) << std::setprecision(2)
+                << (mclB > 0 ? mclR / mclB : 0) << "\n";
+      std::cout.unsetf(std::ios::fixed);
+      std::cout << std::setprecision(6);
+    }
+    std::cout << "\nXOR/offset-structured collectives reward routing-aware "
+               "placement; ring\nallgather is already local and shows little "
+               "headroom.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

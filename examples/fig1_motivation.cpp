@@ -1,0 +1,77 @@
+/// \file fig1_motivation.cpp
+/// Reproduces the paper's Figure 1 walkthrough (§III-A): why hop-bytes is
+/// the wrong objective under minimum adaptive routing.
+///
+/// Four processes map onto a 2x2 network. P0 and P1 exchange heavily; the
+/// other edges are light. The hop-bytes metric wants the heavy pair
+/// adjacent; the MCL metric (with MAR splitting traffic over all minimal
+/// paths) wants them on the diagonal. The example evaluates both mappings
+/// analytically (channel loads) and empirically (cycle-level simulation).
+
+#include <iomanip>
+#include <iostream>
+
+#include "graph/stats.hpp"
+#include "mapping/mapping.hpp"
+#include "routing/oblivious.hpp"
+#include "simnet/simulator.hpp"
+#include "topology/torus.hpp"
+
+int main() {
+  using namespace rahtm;
+  const Torus net = Torus::mesh(Shape{2, 2});
+
+  // Fig. 1(a): the communication graph.
+  CommGraph g(4);
+  g.addExchange(0, 1, 100);  // the heavy pair
+  g.addExchange(0, 2, 1);
+  g.addExchange(1, 3, 1);
+  g.addExchange(2, 3, 1);
+
+  // Fig. 1(b): hop-bytes mapping — P0,P1 adjacent.
+  const std::vector<NodeId> hopBytesMap{
+      net.nodeId(Coord{0, 0}), net.nodeId(Coord{0, 1}),
+      net.nodeId(Coord{1, 0}), net.nodeId(Coord{1, 1})};
+  // Fig. 1(c): MCL mapping — P0,P1 on the diagonal.
+  const std::vector<NodeId> mclMap{
+      net.nodeId(Coord{0, 0}), net.nodeId(Coord{1, 1}),
+      net.nodeId(Coord{0, 1}), net.nodeId(Coord{1, 0})};
+
+  const auto evaluate = [&](const char* name,
+                            const std::vector<NodeId>& placement) {
+    const double mcl = placementMcl(net, g, placement);
+    const double hb = hopBytes(g, net, placement);
+
+    Mapping m(4);
+    for (RankId r = 0; r < 4; ++r) m.assign(r, placement[r], 0);
+    simnet::Phase phase;
+    for (const Flow& f : g.flows()) {
+      phase.push_back({f.src, f.dst, static_cast<std::int64_t>(f.bytes * 64)});
+    }
+    simnet::SimConfig sim;
+    sim.bytesPerFlit = 8;
+    // Model a BG/Q-like NIC that can out-inject a single link, so the
+    // network — not the injection FIFO — is the bottleneck.
+    sim.injectionBandwidth = 4;
+    const auto res = simulatePhase(net, m, phase, sim);
+
+    std::cout << std::left << std::setw(22) << name << std::right
+              << std::setw(12) << hb << std::setw(12) << mcl << std::setw(14)
+              << res.cycles << std::setw(16) << res.maxChannelFlits << "\n";
+  };
+
+  std::cout << "Figure 1: hop-bytes vs MCL mapping of a heavy pair on a 2x2 "
+               "mesh under MAR\n\n";
+  std::cout << std::left << std::setw(22) << "mapping" << std::right
+            << std::setw(12) << "hop-bytes" << std::setw(12) << "MCL"
+            << std::setw(14) << "sim cycles" << std::setw(16)
+            << "busiest link\n";
+  evaluate("adjacent (hop-bytes)", hopBytesMap);
+  evaluate("diagonal (MCL)", mclMap);
+
+  std::cout << "\nThe adjacent mapping minimizes hop-bytes but saturates one "
+               "link;\nthe diagonal mapping doubles the distance yet halves "
+               "the busiest link\nand drains faster in simulation — the "
+               "paper's motivating observation.\n";
+  return 0;
+}

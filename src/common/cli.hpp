@@ -1,0 +1,39 @@
+#pragma once
+/// \file cli.hpp
+/// A tiny flag parser for the example and benchmark executables.
+/// Flags take the forms `--name value` or `--name=value`; bare `--name`
+/// is a boolean switch.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rahtm {
+
+class CliArgs {
+ public:
+  /// Parses argv; throws ParseError on malformed flags.
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string getString(const std::string& name,
+                        const std::string& fallback) const;
+  std::int64_t getInt(const std::string& name, std::int64_t fallback) const;
+  double getDouble(const std::string& name, double fallback) const;
+  bool getBool(const std::string& name, bool fallback = false) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Name of the program (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rahtm

@@ -1,0 +1,30 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace rahtm {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel logLevel() { return g_level.load(); }
+
+void logMessage(LogLevel level, const std::string& msg) {
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "[rahtm %s] %s\n", tag(level), msg.c_str());
+}
+
+}  // namespace rahtm

@@ -1,0 +1,44 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logger. Mapping runs can take minutes; the pipeline logs
+/// phase progress at Info level and per-subproblem detail at Debug level.
+
+#include <sstream>
+#include <string>
+
+namespace rahtm {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emit one log line (adds level tag and newline) to stderr.
+void logMessage(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { logMessage(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace rahtm
+
+#define RAHTM_LOG(level)                                  \
+  if (::rahtm::logLevel() <= ::rahtm::LogLevel::level)    \
+  ::rahtm::detail::LogLine(::rahtm::LogLevel::level)

@@ -1,0 +1,89 @@
+#include "common/math.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace rahtm {
+
+int ilog2(std::int64_t x) {
+  RAHTM_REQUIRE(x > 0, "ilog2 of non-positive value");
+  int r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+double binomial(int n, int k) {
+  RAHTM_REQUIRE(n >= 0, "binomial: n must be non-negative");
+  if (k < 0 || k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double r = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    r = r * static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  // The true value is an integer; round away accumulated error.
+  return static_cast<double>(static_cast<std::int64_t>(r + 0.5));
+}
+
+double multinomial(const SmallVec<std::int32_t, kMaxDims>& parts) {
+  int total = 0;
+  double r = 1.0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    RAHTM_REQUIRE(parts[i] >= 0, "multinomial: negative part");
+    total += parts[i];
+    r *= binomial(total, parts[i]);
+  }
+  return r;
+}
+
+namespace {
+void factorize(std::int64_t remaining, std::size_t dim, const Shape& maxPerDim,
+               Shape& current, std::vector<Shape>& out) {
+  if (dim == maxPerDim.size()) {
+    if (remaining == 1) out.push_back(current);
+    return;
+  }
+  for (std::int32_t f = 1; f <= maxPerDim[dim] && f <= remaining; ++f) {
+    if (remaining % f != 0) continue;
+    current[dim] = f;
+    factorize(remaining / f, dim + 1, maxPerDim, current, out);
+  }
+}
+}  // namespace
+
+std::vector<Shape> orderedFactorizations(std::int64_t n,
+                                         const Shape& maxPerDim) {
+  RAHTM_REQUIRE(n >= 1, "orderedFactorizations: n must be positive");
+  RAHTM_REQUIRE(!maxPerDim.empty(), "orderedFactorizations: no dimensions");
+  std::vector<Shape> out;
+  Shape current(maxPerDim.size(), 1);
+  factorize(n, 0, maxPerDim, current, out);
+  return out;
+}
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  RAHTM_REQUIRE(a >= 0 && b >= 0, "gcd64: negative input");
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::int64_t ipow(std::int64_t base, int exp) {
+  RAHTM_REQUIRE(exp >= 0, "ipow: negative exponent");
+  std::int64_t r = 1;
+  for (int i = 0; i < exp; ++i) {
+    RAHTM_REQUIRE(base == 0 ||
+                      r <= std::numeric_limits<std::int64_t>::max() / (base == 0 ? 1 : base),
+                  "ipow overflow");
+    r *= base;
+  }
+  return r;
+}
+
+}  // namespace rahtm

@@ -1,0 +1,43 @@
+#pragma once
+/// \file math.hpp
+/// Exact small-combinatorics helpers used by the oblivious channel-load
+/// evaluator (minimal-path counting is multinomial in the per-dimension
+/// offsets) and by the tile-shape search (factorizations of the tile size).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/small_vec.hpp"
+
+namespace rahtm {
+
+/// True iff \p x is a power of two (x > 0).
+constexpr bool isPowerOfTwo(std::int64_t x) {
+  return x > 0 && (x & (x - 1)) == 0;
+}
+
+/// Floor of log2(x); requires x > 0.
+int ilog2(std::int64_t x);
+
+/// Exact binomial coefficient C(n, k) as a double. Path-count arguments in
+/// this library are tiny (n ≤ 40), so the value is exactly representable.
+double binomial(int n, int k);
+
+/// Exact multinomial coefficient (Σ parts)! / Π parts_i! as a double.
+/// Counts the number of minimal Manhattan paths whose per-dimension hop
+/// counts are \p parts.
+double multinomial(const SmallVec<std::int32_t, kMaxDims>& parts);
+
+/// All ordered factorizations of \p n into exactly \p dims positive factors,
+/// where factor i must not exceed \p maxPerDim[i]. Used by the clustering
+/// pass to enumerate candidate tile shapes (Fig. 2 of the paper: a size-8
+/// tile in 2D yields 8x1, 4x2, 2x4, 1x8).
+std::vector<Shape> orderedFactorizations(std::int64_t n, const Shape& maxPerDim);
+
+/// Greatest common divisor of two non-negative integers.
+std::int64_t gcd64(std::int64_t a, std::int64_t b);
+
+/// Integer power with overflow check (throws PreconditionError on overflow).
+std::int64_t ipow(std::int64_t base, int exp);
+
+}  // namespace rahtm

@@ -1,0 +1,135 @@
+#pragma once
+/// \file small_vec.hpp
+/// A fixed-capacity inline vector used for topology coordinates. Torus
+/// topologies in this library never exceed 8 dimensions (BG/Q is 5D plus
+/// the intra-node T dimension), so coordinates live on the stack and are
+/// cheap to copy, hash and compare — they are passed around by value in the
+/// hottest loops of the channel-load evaluator.
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <ostream>
+#include <type_traits>
+
+#include "common/error.hpp"
+
+namespace rahtm {
+
+/// Fixed-capacity inline vector. Throws PreconditionError on overflow.
+template <typename T, std::size_t Cap>
+class SmallVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+
+  SmallVec(std::initializer_list<T> init) {
+    RAHTM_REQUIRE(init.size() <= Cap, "SmallVec initializer too long");
+    for (const T& v : init) data_[size_++] = v;
+  }
+
+  /// Construct with \p n copies of \p fill.
+  explicit SmallVec(std::size_t n, const T& fill = T{}) {
+    RAHTM_REQUIRE(n <= Cap, "SmallVec size exceeds capacity");
+    size_ = n;
+    std::fill(begin(), end(), fill);
+  }
+
+  template <typename It>
+    requires(!std::is_integral_v<It>)
+  SmallVec(It first, It last) {
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  static constexpr std::size_t capacity() { return Cap; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void push_back(const T& v) {
+    RAHTM_REQUIRE(size_ < Cap, "SmallVec overflow");
+    data_[size_++] = v;
+  }
+  void pop_back() {
+    RAHTM_REQUIRE(size_ > 0, "pop_back on empty SmallVec");
+    --size_;
+  }
+  void resize(std::size_t n, const T& fill = T{}) {
+    RAHTM_REQUIRE(n <= Cap, "SmallVec resize exceeds capacity");
+    for (std::size_t i = size_; i < n; ++i) data_[i] = fill;
+    size_ = n;
+  }
+  void clear() { size_ = 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& at(std::size_t i) {
+    RAHTM_REQUIRE(i < size_, "SmallVec index out of range");
+    return data_[i];
+  }
+  const T& at(std::size_t i) const {
+    RAHTM_REQUIRE(i < size_, "SmallVec index out of range");
+    return data_[i];
+  }
+  T& back() { return at(size_ - 1); }
+  const T& back() const { return at(size_ - 1); }
+  T& front() { return at(0); }
+  const T& front() const { return at(0); }
+
+  iterator begin() { return data_.data(); }
+  iterator end() { return data_.data() + size_; }
+  const_iterator begin() const { return data_.data(); }
+  const_iterator end() const { return data_.data() + size_; }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVec& a, const SmallVec& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const SmallVec& a, const SmallVec& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  std::array<T, Cap> data_{};
+  std::size_t size_ = 0;
+};
+
+/// Maximum number of topology dimensions supported (5D torus + T + slack).
+inline constexpr std::size_t kMaxDims = 8;
+
+/// A coordinate in a (mixed-radix) torus, one entry per dimension.
+using Coord = SmallVec<std::int32_t, kMaxDims>;
+
+/// Per-dimension extents of a torus / tile / block.
+using Shape = SmallVec<std::int32_t, kMaxDims>;
+
+template <typename T, std::size_t Cap>
+std::ostream& operator<<(std::ostream& os, const SmallVec<T, Cap>& v) {
+  os << '(';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ',';
+    os << v[i];
+  }
+  return os << ')';
+}
+
+}  // namespace rahtm
+
+namespace std {
+template <typename T, size_t Cap>
+struct hash<rahtm::SmallVec<T, Cap>> {
+  size_t operator()(const rahtm::SmallVec<T, Cap>& v) const {
+    size_t h = 0x9e3779b97f4a7c15ull;
+    for (size_t i = 0; i < v.size(); ++i) {
+      h ^= std::hash<T>{}(v[i]) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+}  // namespace std

@@ -1,0 +1,33 @@
+#pragma once
+/// \file strings.hpp
+/// Small string utilities used by the profile / mapfile parsers and CLI.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rahtm {
+
+/// Split \p s on \p sep; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split \p s on runs of whitespace; empty fields are dropped.
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Join the elements of \p parts with \p sep.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parse a signed integer; throws ParseError on malformed input.
+std::int64_t parseInt(std::string_view s);
+
+/// Parse a double; throws ParseError on malformed input.
+double parseDouble(std::string_view s);
+
+/// True if \p s starts with \p prefix.
+bool startsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace rahtm

@@ -1,0 +1,31 @@
+#pragma once
+/// \file types.hpp
+/// Fundamental index and size aliases shared across all RAHTM libraries.
+
+#include <cstdint>
+
+namespace rahtm {
+
+/// Index of a compute node (router) in a topology. Dense, 0-based.
+using NodeId = std::int32_t;
+
+/// Index of an MPI rank / application process. Dense, 0-based.
+using RankId = std::int32_t;
+
+/// Index of a cluster produced by the phase-1 clustering pass.
+using ClusterId = std::int32_t;
+
+/// Index of a directed network channel (link) in a topology.
+using ChannelId = std::int64_t;
+
+/// Communication volume, in bytes (or abstract volume units).
+using Volume = double;
+
+/// Sentinel for "no node" / "unmapped".
+inline constexpr NodeId kInvalidNode = -1;
+/// Sentinel for "no rank".
+inline constexpr RankId kInvalidRank = -1;
+/// Sentinel for "no channel".
+inline constexpr ChannelId kInvalidChannel = -1;
+
+}  // namespace rahtm

@@ -1,0 +1,41 @@
+#pragma once
+/// \file bisection_mapper.hpp
+/// Recursive-bisection mapping — the classic graph-partitioner approach
+/// (Chaco-style) the paper cites as limited prior art (§IV mentions Chaco
+/// "handles 3 dimensions at most"; this implementation handles any of our
+/// torus dimensionalities, but remains routing-unaware).
+///
+/// Algorithm: recursively bisect the machine along its largest dimension
+/// and, in lock step, bisect the (cluster) communication graph with a
+/// Kernighan–Lin / Fiduccia–Mattheyses-style min-cut pass, assigning each
+/// graph half to a machine half. The objective at every split is the cut
+/// volume — a bandwidth-motivated but routing-oblivious criterion, which
+/// makes this the strongest "traditional" baseline in the roster.
+
+#include "mapping/mapping.hpp"
+
+namespace rahtm {
+
+struct BisectionConfig {
+  /// KL improvement passes per bisection.
+  int klPasses = 8;
+  /// Logical rank-grid geometry for the concentration tiling (empty: 1D).
+  Shape logicalGrid;
+  std::uint64_t seed = 0xb15ec7;
+};
+
+class RecursiveBisectionMapper final : public TaskMapper {
+ public:
+  explicit RecursiveBisectionMapper(BisectionConfig config = {});
+
+  Mapping map(const CommGraph& graph, const Torus& topo,
+              int concentration) override;
+  std::string name() const override { return "RCB"; }
+
+  void setLogicalGrid(const Shape& grid) { config_.logicalGrid = grid; }
+
+ private:
+  BisectionConfig config_;
+};
+
+}  // namespace rahtm

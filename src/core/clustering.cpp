@@ -1,0 +1,117 @@
+#include "core/clustering.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/math.hpp"
+#include "topology/torus.hpp"
+
+namespace rahtm {
+
+TilingResult applyTiling(const CommGraph& g, const Shape& grid,
+                         const Shape& tileShape) {
+  RAHTM_REQUIRE(grid.size() == tileShape.size(),
+                "applyTiling: dimension mismatch");
+  const Torus fine = Torus::mesh(grid);
+  RAHTM_REQUIRE(fine.numNodes() == g.numRanks(),
+                "applyTiling: graph size != grid volume");
+  Shape coarse(grid.size(), 0);
+  for (std::size_t d = 0; d < grid.size(); ++d) {
+    RAHTM_REQUIRE(tileShape[d] >= 1 && grid[d] % tileShape[d] == 0,
+                  "applyTiling: tile must divide the grid");
+    coarse[d] = grid[d] / tileShape[d];
+  }
+  const Torus coarseTopo = Torus::mesh(coarse);
+
+  TilingResult r;
+  r.tileShape = tileShape;
+  r.coarseGrid = coarse;
+  r.clusterOf.resize(static_cast<std::size_t>(g.numRanks()));
+  for (RankId v = 0; v < g.numRanks(); ++v) {
+    const Coord c = fine.coordOf(v);
+    Coord tile(c.size(), 0);
+    for (std::size_t d = 0; d < c.size(); ++d) tile[d] = c[d] / tileShape[d];
+    r.clusterOf[static_cast<std::size_t>(v)] =
+        static_cast<ClusterId>(coarseTopo.nodeId(tile));
+  }
+  auto contraction = contract(g, r.clusterOf,
+                              static_cast<ClusterId>(coarseTopo.numNodes()));
+  r.coarseGraph = std::move(contraction.clusterGraph);
+  r.intraVolume = contraction.intraClusterVolume;
+  r.interVolume = contraction.interClusterVolume;
+  return r;
+}
+
+TilingResult bestTiling(const CommGraph& g, const Shape& grid,
+                        std::int64_t tileCells) {
+  const auto shapes = orderedFactorizations(tileCells, grid);
+  std::vector<Shape> usable;
+  for (const Shape& s : shapes) {
+    bool divides = true;
+    for (std::size_t d = 0; d < s.size(); ++d) {
+      divides &= (grid[d] % s[d] == 0);
+    }
+    if (divides) usable.push_back(s);
+  }
+  RAHTM_REQUIRE(!usable.empty(),
+                "bestTiling: no tile of the requested size divides the grid");
+  TilingResult best;
+  bool first = true;
+  for (const Shape& s : usable) {
+    TilingResult r = applyTiling(g, grid, s);
+    if (first || r.interVolume < best.interVolume) {
+      best = std::move(r);
+      first = false;
+    }
+  }
+  RAHTM_LOG(Debug) << "bestTiling: " << usable.size() << " candidates, chose "
+                   << best.tileShape << " (inter-tile volume "
+                   << best.interVolume << ")";
+  return best;
+}
+
+TilingResult firstTiling(const CommGraph& g, const Shape& grid,
+                         std::int64_t tileCells) {
+  for (const Shape& s : orderedFactorizations(tileCells, grid)) {
+    bool divides = true;
+    for (std::size_t d = 0; d < s.size(); ++d) {
+      divides &= (grid[d] % s[d] == 0);
+    }
+    if (divides) return applyTiling(g, grid, s);
+  }
+  throw PreconditionError(
+      "firstTiling: no tile of the requested size divides the grid");
+}
+
+ClusterTree buildClusterTree(
+    const CommGraph& g, const Shape& rankGrid, int concentration,
+    const std::vector<std::int64_t>& levelChildCounts, bool tileSearch) {
+  RAHTM_REQUIRE(concentration >= 1, "buildClusterTree: bad concentration");
+  const auto tile = [&](const CommGraph& graph, const Shape& grid,
+                        std::int64_t cells) {
+    return tileSearch ? bestTiling(graph, grid, cells)
+                      : firstTiling(graph, grid, cells);
+  };
+  ClusterTree tree;
+  tree.concentration = tile(g, rankGrid, concentration);
+
+  // Sanity: the hierarchy must reduce the node-level cluster count to one.
+  std::int64_t product = 1;
+  for (const std::int64_t c : levelChildCounts) product *= c;
+  RAHTM_REQUIRE(product == tree.concentration.coarseGraph.numRanks(),
+                "buildClusterTree: hierarchy child counts do not multiply to "
+                "the cluster count");
+
+  const CommGraph* current = &tree.concentration.coarseGraph;
+  Shape grid = tree.concentration.coarseGrid;
+  for (const std::int64_t children : levelChildCounts) {
+    TilingResult level = tile(*current, grid, children);
+    grid = level.coarseGrid;
+    tree.levels.push_back(std::move(level));
+    current = &tree.levels.back().coarseGraph;
+  }
+  RAHTM_REQUIRE(current->numRanks() == 1,
+                "buildClusterTree: hierarchy did not reach a single root");
+  return tree;
+}
+
+}  // namespace rahtm

@@ -1,0 +1,72 @@
+#pragma once
+/// \file clustering.hpp
+/// RAHTM phase 1 (§III-B): clustering by tile search.
+///
+/// The communication graph is viewed as a logical grid of ranks (the NAS
+/// benchmarks are grid-structured; an unknown structure degrades to a 1D
+/// grid). Two kinds of clustering happen here:
+///
+///  1. *Concentration clustering*: ranks are grouped into node-sized tiles
+///     (concentration factor c per tile) so the cluster count matches the
+///     node count. The tile shape is chosen by searching every ordered
+///     factorization of c over the grid dimensions (Fig. 2: a size-8 tile in
+///     2D tries 8x1, 4x2, 2x4, 1x8) and keeping the one with minimal
+///     inter-tile volume.
+///  2. *Hierarchy clustering*: the node-level cluster grid is repeatedly
+///     tiled into groups matching the topology hierarchy's per-level child
+///     counts (2^d children per block at depth d), again by tile search,
+///     producing the cluster tree that phases 2 and 3 walk.
+
+#include <vector>
+
+#include "common/small_vec.hpp"
+#include "graph/comm_graph.hpp"
+
+namespace rahtm {
+
+/// Result of one tiling pass.
+struct TilingResult {
+  Shape tileShape;                   ///< winning tile
+  Shape coarseGrid;                  ///< grid of tiles
+  std::vector<ClusterId> clusterOf;  ///< fine vertex -> tile id (row-major)
+  CommGraph coarseGraph;             ///< contracted graph over tiles
+  Volume intraVolume = 0;            ///< volume absorbed inside tiles
+  Volume interVolume = 0;            ///< volume left between tiles
+};
+
+/// Search all tile shapes of exactly \p tileCells cells that divide
+/// \p grid; return the tiling with minimal inter-tile volume.
+/// \p g must have exactly prod(grid) vertices laid out row-major on grid.
+TilingResult bestTiling(const CommGraph& g, const Shape& grid,
+                        std::int64_t tileCells);
+
+/// Evaluate one specific tile shape (used by bestTiling and by the
+/// tiling ablation study).
+TilingResult applyTiling(const CommGraph& g, const Shape& grid,
+                         const Shape& tileShape);
+
+/// The full phase-1 output: the concentration tiling plus one hierarchy
+/// level per entry of \p levelChildCounts (from the machine hierarchy,
+/// root-first). levels[0] describes grouping node-level clusters into the
+/// deepest hierarchy blocks; the last entry reaches the root.
+struct ClusterTree {
+  TilingResult concentration;        ///< rank -> node-level cluster
+  std::vector<TilingResult> levels;  ///< deepest block grouping first
+};
+
+/// First usable tiling (no search): the lexicographically first ordered
+/// factorization that divides the grid. Used by the tiling ablation.
+TilingResult firstTiling(const CommGraph& g, const Shape& grid,
+                         std::int64_t tileCells);
+
+/// Build the cluster tree. \p levelChildCounts lists, deepest level first,
+/// how many clusters merge into one at each step (the machine hierarchy's
+/// children-per-block counts); their product must equal the node-level
+/// cluster count. \p tileSearch selects bestTiling (the paper) vs
+/// firstTiling (ablation).
+ClusterTree buildClusterTree(const CommGraph& g, const Shape& rankGrid,
+                             int concentration,
+                             const std::vector<std::int64_t>& levelChildCounts,
+                             bool tileSearch = true);
+
+}  // namespace rahtm

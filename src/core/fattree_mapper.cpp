@@ -1,0 +1,97 @@
+#include "core/fattree_mapper.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/clustering.hpp"
+
+namespace rahtm {
+
+double fatTreeMcl(const FatTree& tree, const CommGraph& graph,
+                  const std::vector<NodeId>& nodeOfVertex) {
+  RAHTM_REQUIRE(
+      nodeOfVertex.size() >= static_cast<std::size_t>(graph.numRanks()),
+      "fatTreeMcl: placement too small");
+  FatTreeLoads loads(tree);
+  for (const Flow& f : graph.flows()) {
+    loads.addFlow(nodeOfVertex[static_cast<std::size_t>(f.src)],
+                  nodeOfVertex[static_cast<std::size_t>(f.dst)], f.bytes);
+  }
+  return loads.maxLinkLoad();
+}
+
+std::vector<NodeId> mapToFatTree(const CommGraph& graph, const FatTree& tree,
+                                 int concentration,
+                                 const Shape& logicalGrid) {
+  const RankId ranks = graph.numRanks();
+  RAHTM_REQUIRE(ranks == tree.numNodes() * concentration,
+                "mapToFatTree: ranks != nodes * concentration");
+
+  Shape grid = logicalGrid;
+  if (grid.empty()) grid = Shape{static_cast<std::int32_t>(ranks)};
+
+  // The tree's hierarchy, deepest level first: leaf grouping first.
+  std::vector<std::int64_t> childCounts;
+  for (int level = 0; level < tree.levels(); ++level) {
+    childCounts.push_back(tree.downArity(level));
+  }
+  const ClusterTree ct =
+      buildClusterTree(graph, grid, concentration, childCounts);
+
+  // Node of each node-level cluster: the cluster tree's tilings are grid
+  // tilings, so composing the per-level tile positions yields a canonical
+  // depth-first numbering. Because every group of a fat-tree level is
+  // symmetric, assigning sibling clusters to sibling groups in tile order
+  // is optimal given the clustering: only *which* clusters share a group
+  // matters, and that is what the tile search minimized.
+  //
+  // Build the assignment by sorting node-level clusters by their ancestor
+  // path (root tile position, ..., leaf tile position).
+  const auto numClusters =
+      static_cast<std::size_t>(ct.concentration.coarseGraph.numRanks());
+  std::vector<std::vector<ClusterId>> pathOf(numClusters);
+  for (std::size_t c = 0; c < numClusters; ++c) {
+    ClusterId cur = static_cast<ClusterId>(c);
+    std::vector<ClusterId> path;
+    for (const TilingResult& level : ct.levels) {
+      path.push_back(cur);
+      cur = level.clusterOf[static_cast<std::size_t>(cur)];
+    }
+    // path[k] = this cluster's ancestor id at depth k (path[0] = itself);
+    // comparing from the back sorts ancestor-major, keeping siblings on
+    // contiguous — hence co-grouped — node ranges at every level.
+    pathOf[c] = std::move(path);
+  }
+  std::vector<std::size_t> order(numClusters);
+  for (std::size_t i = 0; i < numClusters; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto& pa = pathOf[a];
+    const auto& pb = pathOf[b];
+    for (std::size_t k = pa.size(); k-- > 0;) {
+      if (pa[k] != pb[k]) return pa[k] < pb[k];
+    }
+    return a < b;
+  });
+
+  std::vector<NodeId> nodeOfCluster(numClusters);
+  for (std::size_t i = 0; i < numClusters; ++i) {
+    nodeOfCluster[order[i]] = static_cast<NodeId>(i);
+  }
+
+  std::vector<NodeId> nodeOfRank(static_cast<std::size_t>(ranks));
+  for (RankId r = 0; r < ranks; ++r) {
+    nodeOfRank[static_cast<std::size_t>(r)] = nodeOfCluster[static_cast<
+        std::size_t>(ct.concentration.clusterOf[static_cast<std::size_t>(r)])];
+  }
+  return nodeOfRank;
+}
+
+std::vector<NodeId> linearFatTreeMapping(RankId ranks, int concentration) {
+  std::vector<NodeId> out(static_cast<std::size_t>(ranks));
+  for (RankId r = 0; r < ranks; ++r) {
+    out[static_cast<std::size_t>(r)] = r / concentration;
+  }
+  return out;
+}
+
+}  // namespace rahtm

@@ -1,0 +1,33 @@
+#pragma once
+/// \file fattree_mapper.hpp
+/// RAHTM for fat-trees (§VI): on a tree, every position inside a group is
+/// symmetric, so the mapping problem collapses to hierarchical clustering —
+/// exactly RAHTM's phase 1 run against the tree's per-level arities. Each
+/// level's tile search minimizes the traffic that must climb past that
+/// level's switches, which is precisely what the up/down load model charges
+/// for.
+
+#include <vector>
+
+#include "common/small_vec.hpp"
+#include "graph/comm_graph.hpp"
+#include "topology/fattree.hpp"
+
+namespace rahtm {
+
+/// MCL of a placement on a fat-tree (the analogue of placementMcl).
+double fatTreeMcl(const FatTree& tree, const CommGraph& graph,
+                  const std::vector<NodeId>& nodeOfVertex);
+
+/// Map \p graph onto \p tree with \p concentration ranks per node.
+/// Returns nodeOfRank. \p logicalGrid as in RahtmConfig (empty = 1D).
+/// Requires graph.numRanks() == tree.numNodes() * concentration and every
+/// level arity compatible with the tile search.
+std::vector<NodeId> mapToFatTree(const CommGraph& graph, const FatTree& tree,
+                                 int concentration,
+                                 const Shape& logicalGrid = {});
+
+/// The fat-tree baseline: rank r -> node r / concentration.
+std::vector<NodeId> linearFatTreeMapping(RankId ranks, int concentration);
+
+}  // namespace rahtm

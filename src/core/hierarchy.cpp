@@ -1,0 +1,82 @@
+#include "core/hierarchy.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace rahtm {
+
+MachineHierarchy::MachineHierarchy(const Torus& topo) : topo_(topo) {
+  for (std::size_t d = 0; d < topo.ndims(); ++d) {
+    RAHTM_REQUIRE(isPowerOfTwo(topo.extent(d)),
+                  "MachineHierarchy: extents must be powers of two");
+  }
+  Shape shape = topo.shape();
+  blockShapes_.push_back(shape);
+  while (true) {
+    Shape grid(shape.size(), 1);
+    bool any = false;
+    for (std::size_t d = 0; d < shape.size(); ++d) {
+      if (shape[d] > 1) {
+        grid[d] = 2;
+        shape[d] /= 2;
+        any = true;
+      }
+    }
+    if (!any) break;
+    childGrids_.push_back(grid);
+    blockShapes_.push_back(shape);
+  }
+  RAHTM_REQUIRE(!childGrids_.empty(),
+                "MachineHierarchy: single-node machine has no hierarchy");
+}
+
+const Shape& MachineHierarchy::blockShape(int level) const {
+  RAHTM_REQUIRE(level >= 0 && level <= depth(), "blockShape: bad level");
+  return blockShapes_[static_cast<std::size_t>(level)];
+}
+
+const Shape& MachineHierarchy::childGrid(int level) const {
+  RAHTM_REQUIRE(level >= 0 && level < depth(), "childGrid: bad level");
+  return childGrids_[static_cast<std::size_t>(level)];
+}
+
+std::int64_t MachineHierarchy::childCount(int level) const {
+  const Shape& g = childGrid(level);
+  std::int64_t n = 1;
+  for (std::size_t d = 0; d < g.size(); ++d) n *= g[d];
+  return n;
+}
+
+Torus MachineHierarchy::clusterTopology(int level) const {
+  const Shape& g = childGrid(level);
+  SmallVec<std::uint8_t, kMaxDims> wrap(g.size(), 0);
+  if (level == 0) {
+    // Splitting the full wrapped dimension in two leaves a pair of
+    // super-nodes joined by two link bundles (direct + wraparound): a 2-ary
+    // torus dimension. Deeper blocks are proper subcubes, hence meshes.
+    for (std::size_t d = 0; d < g.size(); ++d) {
+      wrap[d] = (g[d] == 2 && topo_.wraps(d)) ? 1 : 0;
+    }
+  }
+  return Torus::mixed(g, wrap);
+}
+
+std::vector<std::int64_t> MachineHierarchy::childCountsDeepestFirst() const {
+  std::vector<std::int64_t> counts;
+  for (int level = depth() - 1; level >= 0; --level) {
+    counts.push_back(childCount(level));
+  }
+  return counts;
+}
+
+SubcubeView MachineHierarchy::childBlock(int level, const Coord& parentOrigin,
+                                         const Coord& childPos) const {
+  const Shape& childShape = blockShape(level + 1);
+  Coord origin(parentOrigin.size(), 0);
+  for (std::size_t d = 0; d < parentOrigin.size(); ++d) {
+    origin[d] = parentOrigin[d] + childPos[d] * childShape[d];
+  }
+  return SubcubeView(topo_, origin, childShape);
+}
+
+}  // namespace rahtm

@@ -1,0 +1,62 @@
+#pragma once
+/// \file hierarchy.hpp
+/// The machine-side hierarchy (§III-B): recursive halving of the torus into
+/// nested 2-ary d-cubes.
+///
+/// At every depth, each block splits in half along every dimension whose
+/// extent is still > 1, so a block's children always form a 2-ary d-cube
+/// (d = number of live dimensions at that depth). This generalizes the
+/// paper's uniform k-ary n-torus requirement to mixed power-of-two extents:
+/// the BG/Q 4x4x4x4x2 partition needs no special-case pre-partitioning —
+/// its first level is a 2-ary 5-cube and its second a 2-ary 4-cube.
+
+#include <vector>
+
+#include "topology/subcube.hpp"
+#include "topology/torus.hpp"
+
+namespace rahtm {
+
+class MachineHierarchy {
+ public:
+  /// Requires every extent of \p topo to be a power of two.
+  /// The topology is stored by value, so temporaries are safe to pass.
+  explicit MachineHierarchy(const Torus& topo);
+
+  const Torus& machine() const { return topo_; }
+
+  /// Number of levels (root split = level 0; deepest split = depth()-1).
+  int depth() const { return static_cast<int>(childGrids_.size()); }
+
+  /// Shape of one block at the given depth (0 = whole machine; depth() =
+  /// a single node).
+  const Shape& blockShape(int level) const;
+
+  /// Per-dimension split factor (1 or 2) applied at \p level.
+  const Shape& childGrid(int level) const;
+
+  /// Children per block at \p level (== product of childGrid entries).
+  std::int64_t childCount(int level) const;
+
+  /// The topology the contracted cluster graph sees at \p level: a 2-ary
+  /// d-cube, with wraparound in the dimensions where the split spans a
+  /// wrapped machine dimension (only possible at the root level — the
+  /// paper's "2-ary n-torus == 2-ary n-mesh with double-wide links" case).
+  Torus clusterTopology(int level) const;
+
+  /// Child-count list ordered deepest level first, as consumed by
+  /// buildClusterTree().
+  std::vector<std::int64_t> childCountsDeepestFirst() const;
+
+  /// The subcube of a child at local grid position \p childPos within a
+  /// parent block anchored at \p parentOrigin at \p level.
+  SubcubeView childBlock(int level, const Coord& parentOrigin,
+                         const Coord& childPos) const;
+
+ private:
+  Torus topo_;
+  std::vector<Shape> blockShapes_;  // size depth()+1
+  std::vector<Shape> childGrids_;   // size depth()
+};
+
+}  // namespace rahtm

@@ -1,0 +1,292 @@
+#include "core/rahtm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "routing/evaluator.hpp"
+
+namespace rahtm {
+
+namespace {
+
+/// Restrict \p g to the vertex subset \p verts, relabeling vertex verts[i]
+/// to local id i. Flows with an endpoint outside the subset are dropped.
+CommGraph restrictGraph(const CommGraph& g, const std::vector<ClusterId>& verts) {
+  std::vector<RankId> local(static_cast<std::size_t>(g.numRanks()), -1);
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    local[static_cast<std::size_t>(verts[i])] = static_cast<RankId>(i);
+  }
+  CommGraph out(static_cast<RankId>(verts.size()));
+  for (const Flow& f : g.flows()) {
+    const RankId a = local[static_cast<std::size_t>(f.src)];
+    const RankId b = local[static_cast<std::size_t>(f.dst)];
+    if (a >= 0 && b >= 0) out.addFlow(a, b, f.bytes);
+  }
+  return out;
+}
+
+/// Internal pipeline state shared by the phases.
+struct Pipeline {
+  const RahtmConfig& cfg;
+  const Torus& topo;
+  MachineHierarchy hierarchy;
+  ClusterTree tree;
+  int L;  ///< hierarchy depth
+
+  /// parentOf[k][c] : depth-k cluster c -> its parent at depth k-1 (k >= 1).
+  std::vector<const std::vector<ClusterId>*> parentOf;
+  /// childrenOf[k][p] : depth-k cluster p -> its depth-(k+1) children.
+  std::vector<std::vector<std::vector<ClusterId>>> childrenOf;
+  /// graphs[k] : contracted communication graph over depth-k clusters.
+  std::vector<const CommGraph*> graphs;
+  /// pinSlot[k][c] : phase-2 slot (coord in the parent's child grid) of
+  /// depth-k cluster c (k >= 1).
+  std::vector<std::vector<Coord>> pinSlot;
+
+  RahtmStats* stats;
+
+  Pipeline(const RahtmConfig& config, const CommGraph& graph,
+           const Torus& topology, int concentration, const Shape& rankGrid,
+           RahtmStats* statsOut)
+      : cfg(config), topo(topology), hierarchy(topology), stats(statsOut) {
+    L = hierarchy.depth();
+    Timer t;
+    tree = buildClusterTree(graph, rankGrid, concentration,
+                            hierarchy.childCountsDeepestFirst(),
+                            config.tileSearch);
+    stats->clusterSeconds = t.seconds();
+    stats->intraNodeVolume = tree.concentration.intraVolume;
+    stats->interNodeVolume = tree.concentration.interVolume;
+
+    // Index parents / children / graphs by depth.
+    parentOf.assign(static_cast<std::size_t>(L) + 1, nullptr);
+    graphs.assign(static_cast<std::size_t>(L) + 1, nullptr);
+    graphs[static_cast<std::size_t>(L)] = &tree.concentration.coarseGraph;
+    for (int k = 1; k <= L; ++k) {
+      // tree.levels[i] maps depth (L - i) -> depth (L - i - 1).
+      const TilingResult& level = tree.levels[static_cast<std::size_t>(L - k)];
+      parentOf[static_cast<std::size_t>(k)] = &level.clusterOf;
+      graphs[static_cast<std::size_t>(k - 1)] = &level.coarseGraph;
+    }
+    childrenOf.resize(static_cast<std::size_t>(L));
+    for (int k = 0; k < L; ++k) {
+      const auto& pmap = *parentOf[static_cast<std::size_t>(k + 1)];
+      childrenOf[static_cast<std::size_t>(k)].resize(
+          static_cast<std::size_t>(graphs[static_cast<std::size_t>(k)]->numRanks()));
+      for (std::size_t c = 0; c < pmap.size(); ++c) {
+        childrenOf[static_cast<std::size_t>(k)][static_cast<std::size_t>(pmap[c])]
+            .push_back(static_cast<ClusterId>(c));
+      }
+    }
+    pinSlot.resize(static_cast<std::size_t>(L) + 1);
+    for (int k = 1; k <= L; ++k) {
+      pinSlot[static_cast<std::size_t>(k)].resize(
+          static_cast<std::size_t>(graphs[static_cast<std::size_t>(k)]->numRanks()),
+          Coord(topo.ndims(), 0));
+    }
+  }
+
+  /// Phase 2: top-down pseudo-pinning (§III-C).
+  void pin(int k, ClusterId x) {
+    if (k == L) return;
+    const auto& children = childrenOf[static_cast<std::size_t>(k)]
+                                     [static_cast<std::size_t>(x)];
+    const Torus cube = hierarchy.clusterTopology(k);
+    RAHTM_REQUIRE(static_cast<std::int64_t>(children.size()) == cube.numNodes(),
+                  "RAHTM pin: child count != cube size");
+    const CommGraph sibling =
+        restrictGraph(*graphs[static_cast<std::size_t>(k + 1)], children);
+    const SubproblemSolution sol =
+        solveSubproblem(sibling, cube, cfg.subproblem);
+    ++stats->subproblemsSolved;
+    ++stats->solverMethodCounts[sol.method];
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      pinSlot[static_cast<std::size_t>(k + 1)]
+             [static_cast<std::size_t>(children[i])] =
+                 cube.coordOf(sol.vertexOf[i]);
+      pin(k + 1, children[i]);
+    }
+  }
+
+  /// Local topology of one block at depth \p k: the machine itself at the
+  /// root; a mesh of the block shape below.
+  Torus regionTopology(int k) const {
+    const Shape& shape = hierarchy.blockShape(k);
+    SmallVec<std::uint8_t, kMaxDims> wrap(shape.size(), 0);
+    if (k == 0) {
+      for (std::size_t d = 0; d < shape.size(); ++d) {
+        wrap[d] = topo.wraps(d) ? 1 : 0;
+      }
+    }
+    return Torus::mixed(shape, wrap);
+  }
+
+  struct BlockMap {
+    std::vector<ClusterId> clusters;  ///< node-level cluster ids
+    std::vector<Coord> pos;           ///< local coords within the block
+    std::vector<Coord> pinPos;        ///< pin-only layout (no merge choices)
+  };
+
+  /// Phase 3: bottom-up merge (§III-D).
+  BlockMap mergeUp(int k, ClusterId x, double* rootObjective) {
+    if (k == L) {
+      BlockMap leaf;
+      leaf.clusters.push_back(x);
+      leaf.pos.push_back(Coord(topo.ndims(), 0));
+      leaf.pinPos.push_back(Coord(topo.ndims(), 0));
+      return leaf;
+    }
+    const auto& children = childrenOf[static_cast<std::size_t>(k)]
+                                     [static_cast<std::size_t>(x)];
+    std::vector<MergeChild> mergeChildrenIn;
+    mergeChildrenIn.reserve(children.size());
+    for (const ClusterId child : children) {
+      BlockMap bm = mergeUp(k + 1, child, nullptr);
+      MergeChild mc;
+      mc.clusters = std::move(bm.clusters);
+      mc.localPos = std::move(bm.pos);
+      mc.pinPos = std::move(bm.pinPos);
+      mc.slot = pinSlot[static_cast<std::size_t>(k + 1)]
+                       [static_cast<std::size_t>(child)];
+      mergeChildrenIn.push_back(std::move(mc));
+    }
+    MergeConfig mcfg = cfg.merge;
+    if (!cfg.enableMerge) {
+      mcfg.beamWidth = 1;
+      mcfg.maxOrientations = 1;  // identity only: phase-2 pins are final
+      mcfg.allowRepositioning = false;
+    }
+    const Torus region = regionTopology(k);
+    const MergeResult res = mergeChildren(
+        region, hierarchy.blockShape(k + 1), hierarchy.childGrid(k),
+        mergeChildrenIn, *graphs[static_cast<std::size_t>(L)], mcfg);
+    if (rootObjective != nullptr) *rootObjective = res.objective;
+
+    BlockMap out;
+    out.clusters = res.clustersInRegion;
+    out.pos.reserve(res.localNode.size());
+    for (const NodeId n : res.localNode) {
+      out.pos.push_back(region.coordOf(n));
+    }
+    out.pinPos.reserve(res.pinLocalNode.size());
+    for (const NodeId n : res.pinLocalNode) {
+      out.pinPos.push_back(region.coordOf(n));
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+RahtmMapper::RahtmMapper(RahtmConfig config) : config_(std::move(config)) {}
+
+Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
+                         int concentration) {
+  Timer total;
+  stats_ = RahtmStats{};
+  const RankId ranks = graph.numRanks();
+  RAHTM_REQUIRE(ranks == topo.numNodes() * concentration,
+                "RahtmMapper: ranks != nodes * concentration");
+
+  Shape rankGrid = config_.logicalGrid;
+  if (rankGrid.empty()) {
+    rankGrid = Shape{static_cast<std::int32_t>(ranks)};
+  } else {
+    std::int64_t vol = 1;
+    for (std::size_t d = 0; d < rankGrid.size(); ++d) vol *= rankGrid[d];
+    RAHTM_REQUIRE(vol == ranks, "RahtmMapper: logical grid volume != ranks");
+  }
+
+  Pipeline pipe(config_, graph, topo, concentration, rankGrid, &stats_);
+
+  Timer t;
+  pipe.pin(0, 0);
+  stats_.pinSeconds = t.seconds();
+
+  t.reset();
+  double rootObjective = 0;
+  const Pipeline::BlockMap root = pipe.mergeUp(0, 0, &rootObjective);
+  stats_.mergeSeconds = t.seconds();
+  stats_.rootObjective = rootObjective;
+
+  // Node-level cluster -> machine node.
+  std::vector<NodeId> nodeOfCluster(
+      static_cast<std::size_t>(pipe.tree.concentration.coarseGraph.numRanks()),
+      kInvalidNode);
+  for (std::size_t i = 0; i < root.clusters.size(); ++i) {
+    nodeOfCluster[static_cast<std::size_t>(root.clusters[i])] =
+        topo.nodeId(root.pos[i]);
+  }
+
+  // Final refinement: pairwise swaps on the full placement under the same
+  // routing-aware objective (extension; see refine.hpp). With canonicalSeed
+  // the dimension-order placement is refined as well and the better of the
+  // two survives — the hierarchical search must never lose to the trivial
+  // mapping.
+  if (config_.finalRefinement) {
+    t.reset();
+    RefineConfig rcfg = config_.refine;
+    rcfg.objective = config_.merge.objective;
+    const CommGraph& clusterGraph = pipe.tree.concentration.coarseGraph;
+    RefineResult rr = refinePlacement(topo, clusterGraph, nodeOfCluster, rcfg);
+    stats_.refineSwaps = rr.swapsApplied;
+    stats_.rootObjective = rr.objectiveAfter;
+    if (config_.canonicalSeed) {
+      std::vector<NodeId> canonical(nodeOfCluster.size());
+      for (std::size_t i = 0; i < canonical.size(); ++i) {
+        canonical[i] = static_cast<NodeId>(i);
+      }
+      const RefineResult rc =
+          refinePlacement(topo, clusterGraph, canonical, rcfg);
+      // Lexicographic comparison under the active objective.
+      bool canonicalWins;
+      MclEvaluator evaluator(topo);
+      if (rcfg.objective == MapObjective::Mcl) {
+        const auto sm = evaluator.summarize(clusterGraph, nodeOfCluster);
+        const auto sc = evaluator.summarize(clusterGraph, canonical);
+        canonicalWins = sc.mcl < sm.mcl - 1e-12 ||
+                        (sc.mcl < sm.mcl + 1e-12 &&
+                         sc.sumSquares < sm.sumSquares * (1 - 1e-9));
+      } else {
+        canonicalWins = rc.objectiveAfter < rr.objectiveAfter - 1e-12;
+      }
+      if (canonicalWins) {
+        nodeOfCluster = std::move(canonical);
+        stats_.rootObjective = rc.objectiveAfter;
+        stats_.refineSwaps += rc.swapsApplied;
+        RAHTM_LOG(Info) << "RAHTM: canonical-seed refinement won ("
+                        << rc.objectiveAfter << " vs " << rr.objectiveAfter
+                        << ")";
+      }
+    }
+    stats_.refineSeconds = t.seconds();
+  }
+
+  // Rank -> (node, slot): slots assigned in rank order within each node.
+  Mapping m(ranks);
+  std::vector<int> nextSlot(static_cast<std::size_t>(topo.numNodes()), 0);
+  for (RankId r = 0; r < ranks; ++r) {
+    const ClusterId c =
+        pipe.tree.concentration.clusterOf[static_cast<std::size_t>(r)];
+    const NodeId n = nodeOfCluster[static_cast<std::size_t>(c)];
+    RAHTM_REQUIRE(n != kInvalidNode, "RahtmMapper: unplaced cluster");
+    m.assign(r, n, nextSlot[static_cast<std::size_t>(n)]++);
+  }
+  stats_.totalSeconds = total.seconds();
+  RAHTM_LOG(Info) << "RAHTM mapped " << ranks << " ranks onto "
+                  << topo.describe() << " in " << stats_.totalSeconds
+                  << "s (cluster " << stats_.clusterSeconds << "s, pin "
+                  << stats_.pinSeconds << "s, merge " << stats_.mergeSeconds
+                  << "s); root objective " << stats_.rootObjective;
+  return m;
+}
+
+Mapping RahtmMapper::mapWorkload(const Workload& workload, const Torus& topo,
+                                 int concentration) {
+  config_.logicalGrid = workload.logicalGrid;
+  return map(workload.commGraph(), topo, concentration);
+}
+
+}  // namespace rahtm

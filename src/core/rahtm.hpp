@@ -1,0 +1,82 @@
+#pragma once
+/// \file rahtm.hpp
+/// The RAHTM pipeline (§III): clustering → hierarchical MILP pseudo-pinning
+/// → bottom-up beam merging. This is the public entry point of the library.
+
+#include <map>
+#include <string>
+
+#include "core/clustering.hpp"
+#include "core/hierarchy.hpp"
+#include "core/merge.hpp"
+#include "core/refine.hpp"
+#include "core/subproblem.hpp"
+#include "mapping/mapping.hpp"
+#include "workloads/workload.hpp"
+
+namespace rahtm {
+
+struct RahtmConfig {
+  SubproblemConfig subproblem;  ///< phase-2 solver portfolio
+  MergeConfig merge;            ///< phase-3 beam parameters (N = 64)
+  /// Search tile shapes during clustering (Fig. 2). When off, the first
+  /// usable factorization is taken (ablation).
+  bool tileSearch = true;
+  /// Run phase 3. When off, the phase-2 pseudo-pins are final (ablation).
+  bool enableMerge = true;
+  /// Run the final pairwise-swap refinement over the merged placement
+  /// (an extension past the paper's three phases — see refine.hpp).
+  bool finalRefinement = true;
+  RefineConfig refine;
+  /// Also refine from the canonical dimension-order cluster placement and
+  /// keep the better of the two refined placements. Guards against regimes
+  /// (e.g. bisection-bound patterns) where the hierarchical search space
+  /// cannot reach the trivial mapping's quality.
+  bool canonicalSeed = true;
+  /// Logical process-grid shape (product == rank count). Empty: 1D.
+  Shape logicalGrid;
+};
+
+/// Timing and accounting for the §V-B optimization-time experiment.
+struct RahtmStats {
+  double clusterSeconds = 0;
+  double pinSeconds = 0;
+  double mergeSeconds = 0;
+  double refineSeconds = 0;
+  double totalSeconds = 0;
+  int refineSwaps = 0;
+  int subproblemsSolved = 0;
+  std::map<std::string, int> solverMethodCounts;
+  /// Region objective achieved by the root merge (the mapping's MCL under
+  /// the oblivious model, at node-cluster granularity).
+  double rootObjective = 0;
+  /// Volume absorbed inside nodes by the concentration clustering.
+  Volume intraNodeVolume = 0;
+  Volume interNodeVolume = 0;
+};
+
+class RahtmMapper final : public TaskMapper {
+ public:
+  explicit RahtmMapper(RahtmConfig config = {});
+
+  /// Map using the configured logical grid (or a 1D grid when unset).
+  Mapping map(const CommGraph& graph, const Torus& topo,
+              int concentration) override;
+
+  /// Convenience: pull the logical grid from the workload, then map its
+  /// communication graph.
+  Mapping mapWorkload(const Workload& workload, const Torus& topo,
+                      int concentration);
+
+  std::string name() const override { return "RAHTM"; }
+
+  const RahtmStats& stats() const { return stats_; }
+  const RahtmConfig& config() const { return config_; }
+  RahtmConfig& config() { return config_; }
+
+ private:
+  RahtmConfig config_;
+  RahtmStats stats_;
+};
+
+}  // namespace rahtm

@@ -1,0 +1,42 @@
+#pragma once
+/// \file refine.hpp
+/// Final pairwise-swap refinement of a node-cluster placement.
+///
+/// The hierarchical pipeline optimizes each subproblem on local flows and
+/// merges rigid blocks, so the global placement can end slightly off a
+/// local optimum of the full objective. This pass runs first-improvement
+/// swap sweeps over the complete mapping under the same routing-aware MCL
+/// metric until a sweep finds nothing (or the pass budget is exhausted).
+///
+/// This is an extension beyond the paper's three phases (the paper's §VI
+/// mentions pursuing techniques to improve quality/cost); it is enabled by
+/// default and isolated behind RahtmConfig::finalRefinement so the ablation
+/// benches can quantify its contribution.
+
+#include <vector>
+
+#include "core/subproblem.hpp"
+#include "graph/comm_graph.hpp"
+#include "topology/torus.hpp"
+
+namespace rahtm {
+
+struct RefineConfig {
+  int maxPasses = 30;        ///< full sweeps over all cluster pairs
+  MapObjective objective = MapObjective::Mcl;
+};
+
+struct RefineResult {
+  double objectiveBefore = 0;
+  double objectiveAfter = 0;
+  int swapsApplied = 0;
+  int passes = 0;
+};
+
+/// Improve \p nodeOfCluster (a placement of clusterGraph's vertices onto
+/// distinct nodes of \p topo) in place by greedy pairwise swaps.
+RefineResult refinePlacement(const Torus& topo, const CommGraph& clusterGraph,
+                             std::vector<NodeId>& nodeOfCluster,
+                             const RefineConfig& cfg = {});
+
+}  // namespace rahtm

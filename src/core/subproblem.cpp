@@ -1,0 +1,186 @@
+#include "core/subproblem.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "core/milp_mapper.hpp"
+#include "graph/stats.hpp"
+#include "routing/evaluator.hpp"
+#include "routing/oblivious.hpp"
+
+namespace rahtm {
+
+double evalPlacement(const CommGraph& g, const Torus& cube,
+                     const std::vector<NodeId>& vertexOf, MapObjective obj) {
+  if (obj == MapObjective::Mcl) {
+    return placementMcl(cube, g, vertexOf);
+  }
+  return hopBytes(g, cube, vertexOf);
+}
+
+SubproblemSolution exhaustiveSearch(const CommGraph& g, const Torus& cube,
+                                    MapObjective obj) {
+  const auto verts = static_cast<std::size_t>(g.numRanks());
+  const auto nodes = static_cast<std::size_t>(cube.numNodes());
+  RAHTM_REQUIRE(verts <= nodes, "exhaustiveSearch: graph larger than cube");
+  RAHTM_REQUIRE(nodes <= 9, "exhaustiveSearch: cube too large (max 9 nodes)");
+
+  std::vector<NodeId> nodesPerm(nodes);
+  std::iota(nodesPerm.begin(), nodesPerm.end(), 0);
+
+  SubproblemSolution best;
+  best.method = "exhaustive";
+  best.objective = std::numeric_limits<double>::infinity();
+  MclEvaluator evaluator(cube);
+  std::vector<NodeId> placement(verts);
+  do {
+    // Vertex v sits at nodesPerm[v]; extra nodes stay empty.
+    std::copy(nodesPerm.begin(), nodesPerm.begin() + static_cast<long>(verts),
+              placement.begin());
+    const double val = obj == MapObjective::Mcl
+                           ? evaluator.mcl(g, placement)
+                           : evaluator.hopBytesOf(g, placement);
+    if (val < best.objective) {
+      best.objective = val;
+      best.vertexOf = placement;
+    }
+  } while (std::next_permutation(nodesPerm.begin(), nodesPerm.end()));
+  return best;
+}
+
+namespace {
+
+/// Incremental-evaluation annealing state: full channel-load map plus the
+/// objective, with swap moves re-accumulating only the flows that touch the
+/// two swapped vertices.
+class AnnealState {
+ public:
+  AnnealState(const CommGraph& g, const Torus& cube, MclEvaluator& evaluator,
+              std::vector<NodeId> placement, MapObjective obj)
+      : g_(g),
+        evaluator_(&evaluator),
+        placement_(std::move(placement)),
+        obj_(obj) {
+    objective_ = eval();
+  }
+
+  double objective() const { return objective_; }
+  const std::vector<NodeId>& placement() const { return placement_; }
+
+  /// Objective after swapping the nodes of vertices a and b (or moving a to
+  /// an empty node when b == -1 is not supported here: the pipeline always
+  /// has as many vertices as nodes).
+  double trySwap(RankId a, RankId b) {
+    std::swap(placement_[static_cast<std::size_t>(a)],
+              placement_[static_cast<std::size_t>(b)]);
+    const double val = eval();
+    std::swap(placement_[static_cast<std::size_t>(a)],
+              placement_[static_cast<std::size_t>(b)]);
+    return val;
+  }
+
+  void commitSwap(RankId a, RankId b, double newObjective) {
+    std::swap(placement_[static_cast<std::size_t>(a)],
+              placement_[static_cast<std::size_t>(b)]);
+    objective_ = newObjective;
+  }
+
+ private:
+  double eval() {
+    return obj_ == MapObjective::Mcl ? evaluator_->mcl(g_, placement_)
+                                     : evaluator_->hopBytesOf(g_, placement_);
+  }
+
+  const CommGraph& g_;
+  MclEvaluator* evaluator_;
+  std::vector<NodeId> placement_;
+  MapObjective obj_;
+  double objective_ = 0;
+};
+
+}  // namespace
+
+SubproblemSolution annealSearch(const CommGraph& g, const Torus& cube,
+                                const SubproblemConfig& cfg) {
+  const auto verts = static_cast<std::size_t>(g.numRanks());
+  RAHTM_REQUIRE(verts >= 1, "annealSearch: empty graph");
+  RAHTM_REQUIRE(verts <= static_cast<std::size_t>(cube.numNodes()),
+                "annealSearch: graph larger than cube");
+
+  Rng master(cfg.seed);
+  MclEvaluator evaluator(cube);
+  SubproblemSolution best;
+  best.method = "anneal";
+  best.objective = std::numeric_limits<double>::infinity();
+
+  for (int restart = 0; restart < std::max(1, cfg.annealRestarts); ++restart) {
+    Rng rng = master.split();
+    // Random initial placement over all cube nodes.
+    std::vector<NodeId> nodesPerm(static_cast<std::size_t>(cube.numNodes()));
+    std::iota(nodesPerm.begin(), nodesPerm.end(), 0);
+    rng.shuffle(nodesPerm);
+    std::vector<NodeId> placement(nodesPerm.begin(),
+                                  nodesPerm.begin() + static_cast<long>(verts));
+    AnnealState state(g, cube, evaluator, std::move(placement), cfg.objective);
+
+    double bestLocal = state.objective();
+    std::vector<NodeId> bestLocalPlacement = state.placement();
+
+    // Geometric cooling sized to the initial objective scale.
+    double temp = std::max(1e-9, state.objective() * 0.25);
+    const double cooling =
+        std::pow(1e-4, 1.0 / static_cast<double>(std::max<long>(1, cfg.annealIters)));
+    for (long it = 0; it < cfg.annealIters; ++it) {
+      const auto a = static_cast<RankId>(rng.nextBounded(verts));
+      auto b = static_cast<RankId>(rng.nextBounded(verts));
+      if (a == b) continue;
+      const double cand = state.trySwap(a, b);
+      const double delta = cand - state.objective();
+      if (delta <= 0 || rng.nextDouble() < std::exp(-delta / temp)) {
+        state.commitSwap(a, b, cand);
+        if (state.objective() < bestLocal) {
+          bestLocal = state.objective();
+          bestLocalPlacement = state.placement();
+        }
+      }
+      temp *= cooling;
+    }
+    if (bestLocal < best.objective) {
+      best.objective = bestLocal;
+      best.vertexOf = bestLocalPlacement;
+    }
+  }
+  return best;
+}
+
+SubproblemSolution solveSubproblem(const CommGraph& g, const Torus& cube,
+                                   const SubproblemConfig& cfg) {
+  const std::int64_t nodes = cube.numNodes();
+  if (nodes <= cfg.milpMaxVerts && cfg.objective == MapObjective::Mcl) {
+    MilpMapOptions opts;
+    opts.timeLimitSec = cfg.milpTimeLimitSec;
+    opts.maxNodes = cfg.milpMaxNodes;
+    const MilpMapResult r = milpMapToCube(g, cube, opts);
+    if (r.solved) {
+      SubproblemSolution s;
+      s.vertexOf = r.vertexOf;
+      s.method = "milp";
+      // Report the objective under the pipeline's common (oblivious) metric
+      // so values are comparable across methods.
+      s.objective = evalPlacement(g, cube, r.vertexOf, cfg.objective);
+      return s;
+    }
+    RAHTM_LOG(Warn) << "MILP subproblem fell through (" << r.statusString
+                    << "); falling back";
+  }
+  if (nodes <= cfg.exhaustiveMaxVerts) {
+    return exhaustiveSearch(g, cube, cfg.objective);
+  }
+  return annealSearch(g, cube, cfg);
+}
+
+}  // namespace rahtm

@@ -1,0 +1,61 @@
+#pragma once
+/// \file subproblem.hpp
+/// Solvers for the small cluster-to-cube mapping subproblems of phase 2
+/// (§III-C). The paper uses CPLEX on the Table II MILP for every level;
+/// this portfolio applies the exact MILP where it is fast, an exhaustive
+/// permutation search (also exact, under the oblivious evaluation metric)
+/// for mid-sized cubes, and multi-restart simulated annealing beyond that.
+/// The thresholds are configurable so studies can force one method.
+
+#include <string>
+#include <vector>
+
+#include "graph/comm_graph.hpp"
+#include "topology/torus.hpp"
+
+namespace rahtm {
+
+/// Mapping objective. The paper argues MCL is the right metric under
+/// adaptive routing (§III-A, Fig. 1); hop-bytes is kept as the
+/// routing-unaware ablation.
+enum class MapObjective { Mcl, HopBytes };
+
+struct SubproblemConfig {
+  int milpMaxVerts = 4;        ///< exact Table II MILP up to this many nodes
+  int exhaustiveMaxVerts = 8;  ///< exhaustive permutations up to this
+  /// MILP budgets. Symmetric cluster graphs (uniform volumes) have weak LP
+  /// bounds, so proofs can take long; budget exhaustion returns the best
+  /// incumbent (warm-started, never worse than greedy + DOR routing).
+  double milpTimeLimitSec = 5.0;
+  long milpMaxNodes = 20000;
+  int annealRestarts = 6;
+  long annealIters = 20000;
+  std::uint64_t seed = 0x5eed;
+  MapObjective objective = MapObjective::Mcl;
+};
+
+struct SubproblemSolution {
+  std::vector<NodeId> vertexOf;  ///< graph vertex -> cube node
+  double objective = 0;          ///< achieved objective value
+  std::string method;            ///< "milp" / "exhaustive" / "anneal"
+};
+
+/// Objective value of a placement under the oblivious uniform-minimal model
+/// (or hop-bytes for the ablation).
+double evalPlacement(const CommGraph& g, const Torus& cube,
+                     const std::vector<NodeId>& vertexOf, MapObjective obj);
+
+/// Exact search over all one-to-one placements. Feasible for
+/// cube.numNodes() <= 8 (40320 placements).
+SubproblemSolution exhaustiveSearch(const CommGraph& g, const Torus& cube,
+                                    MapObjective obj);
+
+/// Multi-restart simulated annealing over placements (swap moves).
+SubproblemSolution annealSearch(const CommGraph& g, const Torus& cube,
+                                const SubproblemConfig& cfg);
+
+/// Portfolio dispatch by cube size (MILP -> exhaustive -> annealing).
+SubproblemSolution solveSubproblem(const CommGraph& g, const Torus& cube,
+                                   const SubproblemConfig& cfg);
+
+}  // namespace rahtm

@@ -1,0 +1,167 @@
+#include "graph/comm_graph.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace rahtm {
+
+CommGraph::CommGraph(RankId numRanks) : numRanks_(numRanks) {
+  RAHTM_REQUIRE(numRanks >= 0, "CommGraph: negative rank count");
+}
+
+void CommGraph::ensureRanks(RankId numRanks) {
+  numRanks_ = std::max(numRanks_, numRanks);
+}
+
+void CommGraph::addFlow(RankId src, RankId dst, Volume bytes) {
+  RAHTM_REQUIRE(src >= 0 && dst >= 0, "addFlow: negative rank id");
+  RAHTM_REQUIRE(bytes >= 0, "addFlow: negative volume");
+  ensureRanks(std::max(src, dst) + 1);
+  if (src == dst || bytes == 0) return;
+  const std::uint64_t k = key(src, dst);
+  const auto it = index_.find(k);
+  if (it != index_.end()) {
+    flows_[it->second].bytes += bytes;
+  } else {
+    index_.emplace(k, flows_.size());
+    flows_.push_back(Flow{src, dst, bytes});
+  }
+}
+
+void CommGraph::addExchange(RankId a, RankId b, Volume bytes) {
+  addFlow(a, b, bytes);
+  addFlow(b, a, bytes);
+}
+
+Volume CommGraph::volume(RankId src, RankId dst) const {
+  const auto it = index_.find(key(src, dst));
+  return it == index_.end() ? 0 : flows_[it->second].bytes;
+}
+
+Volume CommGraph::totalVolume() const {
+  Volume v = 0;
+  for (const Flow& f : flows_) v += f.bytes;
+  return v;
+}
+
+int CommGraph::maxDegree() const {
+  std::vector<std::set<RankId>> peers(static_cast<std::size_t>(numRanks_));
+  for (const Flow& f : flows_) {
+    peers[static_cast<std::size_t>(f.src)].insert(f.dst);
+    peers[static_cast<std::size_t>(f.dst)].insert(f.src);
+  }
+  std::size_t best = 0;
+  for (const auto& p : peers) best = std::max(best, p.size());
+  return static_cast<int>(best);
+}
+
+std::vector<Flow> CommGraph::undirectedFlows() const {
+  std::map<std::pair<RankId, RankId>, Volume> acc;
+  for (const Flow& f : flows_) {
+    const auto k = std::minmax(f.src, f.dst);
+    acc[{k.first, k.second}] += f.bytes;
+  }
+  std::vector<Flow> out;
+  out.reserve(acc.size());
+  for (const auto& [pair, vol] : acc) {
+    out.push_back(Flow{pair.first, pair.second, vol});
+  }
+  return out;
+}
+
+CommGraph CommGraph::relabeled(const std::vector<RankId>& perm) const {
+  RAHTM_REQUIRE(perm.size() == static_cast<std::size_t>(numRanks_),
+                "relabeled: permutation size mismatch");
+  std::vector<bool> seen(perm.size(), false);
+  for (const RankId p : perm) {
+    RAHTM_REQUIRE(p >= 0 && p < numRanks_ && !seen[static_cast<std::size_t>(p)],
+                  "relabeled: not a bijection");
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  CommGraph out(numRanks_);
+  for (const Flow& f : flows_) {
+    out.addFlow(perm[static_cast<std::size_t>(f.src)],
+                perm[static_cast<std::size_t>(f.dst)], f.bytes);
+  }
+  return out;
+}
+
+bool operator==(const CommGraph& a, const CommGraph& b) {
+  if (a.numRanks_ != b.numRanks_ || a.flows_.size() != b.flows_.size())
+    return false;
+  for (const Flow& f : a.flows_) {
+    if (b.volume(f.src, f.dst) != f.bytes) return false;
+  }
+  return true;
+}
+
+ContractionResult contract(const CommGraph& g,
+                           const std::vector<ClusterId>& clusterOf,
+                           ClusterId numClusters) {
+  RAHTM_REQUIRE(clusterOf.size() == static_cast<std::size_t>(g.numRanks()),
+                "contract: assignment size mismatch");
+  for (const ClusterId c : clusterOf) {
+    RAHTM_REQUIRE(c >= 0 && c < numClusters, "contract: cluster id out of range");
+  }
+  ContractionResult r;
+  r.clusterGraph = CommGraph(numClusters);
+  r.intraClusterVolume = 0;
+  r.interClusterVolume = 0;
+  for (const Flow& f : g.flows()) {
+    const ClusterId cs = clusterOf[static_cast<std::size_t>(f.src)];
+    const ClusterId cd = clusterOf[static_cast<std::size_t>(f.dst)];
+    if (cs == cd) {
+      r.intraClusterVolume += f.bytes;
+    } else {
+      r.interClusterVolume += f.bytes;
+      r.clusterGraph.addFlow(cs, cd, f.bytes);
+    }
+  }
+  return r;
+}
+
+void writeCommGraph(std::ostream& os, const CommGraph& g) {
+  os << "ranks " << g.numRanks() << "\n";
+  for (const Flow& f : g.flows()) {
+    os << f.src << ' ' << f.dst << ' ' << f.bytes << "\n";
+  }
+}
+
+CommGraph readCommGraph(std::istream& is) {
+  std::string line;
+  CommGraph g;
+  bool sawHeader = false;
+  int lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    const auto t = trim(line);
+    if (t.empty() || t.front() == '#') continue;
+    const auto fields = splitWhitespace(t);
+    if (!sawHeader) {
+      if (fields.size() != 2 || fields[0] != "ranks") {
+        throw ParseError("comm graph line " + std::to_string(lineNo) +
+                         ": expected 'ranks <N>'");
+      }
+      g = CommGraph(static_cast<RankId>(parseInt(fields[1])));
+      sawHeader = true;
+      continue;
+    }
+    if (fields.size() != 3) {
+      throw ParseError("comm graph line " + std::to_string(lineNo) +
+                       ": expected '<src> <dst> <bytes>'");
+    }
+    g.addFlow(static_cast<RankId>(parseInt(fields[0])),
+              static_cast<RankId>(parseInt(fields[1])), parseDouble(fields[2]));
+  }
+  if (!sawHeader) throw ParseError("comm graph: missing 'ranks' header");
+  return g;
+}
+
+}  // namespace rahtm

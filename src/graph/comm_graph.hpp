@@ -1,0 +1,99 @@
+#pragma once
+/// \file comm_graph.hpp
+/// The application communication graph: vertices are MPI ranks (or clusters
+/// of ranks after contraction) and directed weighted edges are point-to-point
+/// communication flows. This is the sole application-side input RAHTM needs
+/// (§III-A): who talks to whom, and how much.
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rahtm {
+
+/// One directed point-to-point flow.
+struct Flow {
+  RankId src = kInvalidRank;
+  RankId dst = kInvalidRank;
+  Volume bytes = 0;
+
+  friend bool operator==(const Flow& a, const Flow& b) {
+    return a.src == b.src && a.dst == b.dst && a.bytes == b.bytes;
+  }
+};
+
+/// A directed, weighted communication graph over dense rank ids.
+/// Parallel edges are coalesced; self-flows are dropped (a rank talking to
+/// itself never touches the network).
+class CommGraph {
+ public:
+  CommGraph() = default;
+  explicit CommGraph(RankId numRanks);
+
+  RankId numRanks() const { return numRanks_; }
+  /// Grow the vertex set (never shrinks).
+  void ensureRanks(RankId numRanks);
+
+  /// Accumulate \p bytes onto the (src,dst) flow. Self-flows are ignored.
+  void addFlow(RankId src, RankId dst, Volume bytes);
+
+  /// Add \p bytes in both directions (convenience for symmetric exchanges).
+  void addExchange(RankId a, RankId b, Volume bytes);
+
+  const std::vector<Flow>& flows() const { return flows_; }
+  std::size_t numFlows() const { return flows_.size(); }
+
+  /// Volume currently recorded from \p src to \p dst (0 if absent).
+  Volume volume(RankId src, RankId dst) const;
+
+  /// Sum of all flow volumes.
+  Volume totalVolume() const;
+
+  /// Max over ranks of (number of distinct peers, in + out).
+  int maxDegree() const;
+
+  /// Undirected view: sum of both directions per unordered pair, each pair
+  /// reported once with src < dst.
+  std::vector<Flow> undirectedFlows() const;
+
+  /// Returns a graph with vertex ids renumbered by \p perm
+  /// (new id = perm[old id]); perm must be a bijection.
+  CommGraph relabeled(const std::vector<RankId>& perm) const;
+
+  friend bool operator==(const CommGraph& a, const CommGraph& b);
+
+ private:
+  RankId numRanks_ = 0;
+  std::vector<Flow> flows_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;  // (src,dst) -> flows_ idx
+
+  static std::uint64_t key(RankId src, RankId dst) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+           static_cast<std::uint32_t>(dst);
+  }
+};
+
+/// Result of contracting a graph by a cluster assignment.
+struct ContractionResult {
+  CommGraph clusterGraph;     ///< flows between distinct clusters
+  Volume intraClusterVolume;  ///< volume absorbed inside clusters
+  Volume interClusterVolume;  ///< volume remaining between clusters
+};
+
+/// Contract \p g by \p clusterOf (size = numRanks, values in
+/// [0, numClusters)). Intra-cluster flows are absorbed (they become
+/// intra-node traffic after mapping); inter-cluster flows are accumulated.
+ContractionResult contract(const CommGraph& g,
+                           const std::vector<ClusterId>& clusterOf,
+                           ClusterId numClusters);
+
+/// Serialize / parse a simple line-oriented text format:
+///   ranks <N>
+///   <src> <dst> <bytes>   (one line per flow)
+void writeCommGraph(std::ostream& os, const CommGraph& g);
+CommGraph readCommGraph(std::istream& is);
+
+}  // namespace rahtm

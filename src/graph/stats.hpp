@@ -1,0 +1,36 @@
+#pragma once
+/// \file stats.hpp
+/// Communication-graph statistics, including the hop-bytes metric that
+/// routing-unaware mappers optimize (§III-A discusses why hop-bytes is the
+/// wrong objective under adaptive routing — we implement it both as a
+/// baseline objective and for reporting).
+
+#include <vector>
+
+#include "graph/comm_graph.hpp"
+#include "topology/torus.hpp"
+
+namespace rahtm {
+
+/// Summary statistics of a communication graph.
+struct GraphStats {
+  RankId ranks = 0;
+  std::size_t flows = 0;
+  Volume totalVolume = 0;
+  int maxDegree = 0;
+  double avgVolumePerFlow = 0;
+};
+
+GraphStats computeStats(const CommGraph& g);
+
+/// Hop-bytes of \p g under a placement: Σ_flows bytes * minimal-hop-distance.
+/// \p nodeOfRank maps each graph vertex to a node of \p t.
+double hopBytes(const CommGraph& g, const Torus& t,
+                const std::vector<NodeId>& nodeOfRank);
+
+/// Average hops weighted by bytes (hop-bytes / total bytes); 0 for an
+/// empty graph.
+double avgWeightedHops(const CommGraph& g, const Torus& t,
+                       const std::vector<NodeId>& nodeOfRank);
+
+}  // namespace rahtm

@@ -1,0 +1,176 @@
+#include "lp/milp.hpp"
+
+#include <cmath>
+#include <queue>
+
+#include "common/timer.hpp"
+
+namespace rahtm::lp {
+
+namespace {
+
+struct Node {
+  // Bound tightenings relative to the root model, as (var, lb, ub).
+  struct BoundFix {
+    VarId var;
+    double lb, ub;
+  };
+  std::vector<BoundFix> fixes;
+  double bound = 0;  // parent LP objective (a valid lower bound when minimizing)
+
+  bool operator<(const Node& other) const {
+    return bound > other.bound;  // min-heap on bound (best-first)
+  }
+};
+
+/// Index of the most fractional integer variable, or -1 if integral.
+int mostFractional(const Model& model, const std::vector<double>& x,
+                   double tol) {
+  int best = -1;
+  double bestDist = tol;
+  for (std::size_t j = 0; j < model.numVariables(); ++j) {
+    if (model.variable(static_cast<VarId>(j)).type == VarType::Continuous)
+      continue;
+    const double frac = x[j] - std::floor(x[j]);
+    const double dist = std::min(frac, 1 - frac);
+    if (dist > bestDist) {
+      bestDist = dist;
+      best = static_cast<int>(j);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MilpSolution solveMilp(const Model& rootModel, const MilpOptions& opts) {
+  Timer timer;
+  MilpSolution result;
+  const double minimize =
+      rootModel.objectiveSense() == Objective::Minimize ? 1.0 : -1.0;
+
+  // Working model whose bounds we mutate per node (cheaper than copying the
+  // constraint matrix for every node).
+  Model model = rootModel;
+
+  std::priority_queue<Node> open;
+  open.push(Node{{}, -1e300});
+
+  double incumbentObj = 1e300;  // in minimize-space
+  result.bestBound = -1e300;
+
+  auto tryIncumbent = [&](const std::vector<double>& x) {
+    if (!rootModel.isFeasible(x, opts.intTol * 10)) return;
+    const double obj = minimize * rootModel.objectiveValue(x);
+    if (obj < incumbentObj - opts.gapTol) {
+      incumbentObj = obj;
+      result.x = x;
+      result.hasIncumbent = true;
+    }
+  };
+
+  if (!opts.warmStart.empty()) tryIncumbent(opts.warmStart);
+
+  bool unresolvedNodes = false;
+  SolveStatus finalStatus = SolveStatus::Optimal;
+  while (!open.empty()) {
+    if (opts.maxNodes > 0 && result.nodesExplored >= opts.maxNodes) {
+      finalStatus = SolveStatus::NodeLimit;
+      break;
+    }
+    if (opts.timeLimitSec > 0 && timer.seconds() > opts.timeLimitSec) {
+      finalStatus = SolveStatus::TimeLimit;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    if (node.bound >= incumbentObj - opts.gapTol) continue;  // pruned
+    ++result.nodesExplored;
+
+    // Apply node bounds.
+    std::vector<std::pair<VarId, std::pair<double, double>>> saved;
+    saved.reserve(node.fixes.size());
+    bool emptyDomain = false;
+    for (const auto& f : node.fixes) {
+      Variable& v = model.variable(f.var);
+      saved.push_back({f.var, {v.lb, v.ub}});
+      v.lb = std::max(v.lb, f.lb);
+      v.ub = std::min(v.ub, f.ub);
+      if (v.lb > v.ub) emptyDomain = true;
+    }
+
+    if (!emptyDomain) {
+      const LpSolution relax = solveLp(model, opts.simplex);
+      if (relax.status == SolveStatus::IterLimit) {
+        // Numerical trouble or iteration exhaustion: the node is dropped
+        // but optimality may no longer be claimed.
+        unresolvedNodes = true;
+      }
+      if (relax.status == SolveStatus::Optimal) {
+        const double bound = minimize * relax.objective;
+        if (bound < incumbentObj - opts.gapTol) {
+          const int branchVar = mostFractional(model, relax.x, opts.intTol);
+          if (branchVar < 0) {
+            tryIncumbent(relax.x);
+          } else {
+            if (opts.roundingHeuristic) {
+              const auto rounded = opts.roundingHeuristic(model, relax.x);
+              if (!rounded.empty()) tryIncumbent(rounded);
+            }
+            const double xv = relax.x[static_cast<std::size_t>(branchVar)];
+            Node down = node;
+            down.bound = bound;
+            down.fixes.push_back(
+                {branchVar, -infinity(), std::floor(xv)});
+            Node up = node;
+            up.bound = bound;
+            up.fixes.push_back({branchVar, std::ceil(xv), infinity()});
+            open.push(std::move(down));
+            open.push(std::move(up));
+          }
+        }
+      } else if (relax.status == SolveStatus::Unbounded) {
+        // An unbounded relaxation at the root means the MILP is unbounded
+        // (integrality cannot bound a cone). Deeper nodes inherit it.
+        finalStatus = SolveStatus::Unbounded;
+        // Restore bounds before leaving.
+        for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+          model.variable(it->first).lb = it->second.first;
+          model.variable(it->first).ub = it->second.second;
+        }
+        break;
+      }
+      // Infeasible or iteration-limited nodes are fathomed.
+    }
+
+    // Restore bounds.
+    for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+      model.variable(it->first).lb = it->second.first;
+      model.variable(it->first).ub = it->second.second;
+    }
+  }
+
+  // Best bound: min over remaining open nodes (or incumbent if tree emptied).
+  double openBound = incumbentObj;
+  if (finalStatus != SolveStatus::Optimal) {
+    // Remaining nodes hold the weakest proven bound.
+    if (!open.empty()) openBound = std::min(openBound, open.top().bound);
+  }
+  result.bestBound = minimize * openBound;
+
+  if (finalStatus == SolveStatus::Optimal && unresolvedNodes) {
+    finalStatus = SolveStatus::IterLimit;  // cannot certify optimality
+  }
+  if (finalStatus == SolveStatus::Optimal) {
+    result.status =
+        result.hasIncumbent ? SolveStatus::Optimal : SolveStatus::Infeasible;
+  } else {
+    result.status = finalStatus;
+  }
+  if (result.hasIncumbent) {
+    result.objective = minimize * incumbentObj;
+  }
+  return result;
+}
+
+}  // namespace rahtm::lp

@@ -1,0 +1,47 @@
+#pragma once
+/// \file milp.hpp
+/// Branch-and-bound MILP solver over the simplex LP engine.
+///
+/// RAHTM's leaf subproblems (Table II) are small mixed-integer programs; the
+/// paper solved them with CPLEX. This solver uses best-first search with
+/// most-fractional branching and returns the best incumbent found when a
+/// node or time budget is exhausted — the hierarchical pipeline treats a
+/// budget-limited incumbent the same way the paper treats a long CPLEX run
+/// cut short.
+
+#include <functional>
+
+#include "lp/simplex.hpp"
+
+namespace rahtm::lp {
+
+struct MilpOptions {
+  SimplexOptions simplex;
+  long maxNodes = 200000;     ///< branch-and-bound node budget
+  double timeLimitSec = 0;    ///< 0: no limit
+  double intTol = 1e-6;       ///< integrality tolerance
+  double gapTol = 1e-9;       ///< absolute optimality gap for termination
+  /// Optional callback turning a (fractional) relaxation point into a
+  /// feasible incumbent; returns empty vector when it cannot.
+  std::function<std::vector<double>(const Model&, const std::vector<double>&)>
+      roundingHeuristic;
+  /// Optional feasible starting point. Installed as the initial incumbent
+  /// (after a feasibility check), giving the search an immediate pruning
+  /// cutoff — essential on symmetric models where integral relaxations are
+  /// rare.
+  std::vector<double> warmStart;
+};
+
+struct MilpSolution {
+  SolveStatus status = SolveStatus::Infeasible;
+  double objective = 0;        ///< incumbent objective (valid if hasIncumbent)
+  double bestBound = 0;        ///< proven bound on the optimum
+  bool hasIncumbent = false;
+  std::vector<double> x;       ///< incumbent point
+  long nodesExplored = 0;
+};
+
+/// Solve \p model to optimality or budget exhaustion.
+MilpSolution solveMilp(const Model& model, const MilpOptions& opts = {});
+
+}  // namespace rahtm::lp

@@ -1,0 +1,169 @@
+#include "mapping/hilbert.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace rahtm {
+
+// Skilling's transpose algorithm ("Programming the Hilbert curve", J.
+// Skilling, AIP Conf. Proc. 707, 2004). The Hilbert index is held in
+// "transposed" form: bit k of X[i] holds index bit (k*ndims + i) counted
+// from the most significant end.
+
+namespace {
+
+void transposeToAxes(std::vector<std::uint32_t>& x, int bits, int ndims) {
+  const std::uint32_t top = std::uint32_t{2} << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  std::uint32_t t = x[static_cast<std::size_t>(ndims) - 1] >> 1;
+  for (int i = ndims - 1; i > 0; --i) {
+    x[static_cast<std::size_t>(i)] ^= x[static_cast<std::size_t>(i) - 1];
+  }
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != top; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = ndims - 1; i >= 0; --i) {
+      if (x[static_cast<std::size_t>(i)] & q) {
+        x[0] ^= p;  // invert low bits of x[0]
+      } else {
+        t = (x[0] ^ x[static_cast<std::size_t>(i)]) & p;
+        x[0] ^= t;
+        x[static_cast<std::size_t>(i)] ^= t;
+      }
+    }
+  }
+}
+
+void axesToTranspose(std::vector<std::uint32_t>& x, int bits, int ndims) {
+  const std::uint32_t top = std::uint32_t{1} << (bits - 1);
+  // Inverse undo.
+  for (std::uint32_t q = top; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < ndims; ++i) {
+      if (x[static_cast<std::size_t>(i)] & q) {
+        x[0] ^= p;
+      } else {
+        const std::uint32_t t = (x[0] ^ x[static_cast<std::size_t>(i)]) & p;
+        x[0] ^= t;
+        x[static_cast<std::size_t>(i)] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < ndims; ++i) {
+    x[static_cast<std::size_t>(i)] ^= x[static_cast<std::size_t>(i) - 1];
+  }
+  std::uint32_t t = 0;
+  for (std::uint32_t q = top; q > 1; q >>= 1) {
+    if (x[static_cast<std::size_t>(ndims) - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < ndims; ++i) x[static_cast<std::size_t>(i)] ^= t;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> hilbertIndexToCoords(std::uint64_t index, int bits,
+                                                int ndims) {
+  RAHTM_REQUIRE(bits >= 1 && bits <= 20, "hilbert: bits out of range");
+  RAHTM_REQUIRE(ndims >= 1 && ndims <= 10, "hilbert: ndims out of range");
+  std::vector<std::uint32_t> x(static_cast<std::size_t>(ndims), 0);
+  if (ndims == 1) {
+    x[0] = static_cast<std::uint32_t>(index);
+    return x;
+  }
+  // Distribute the index bits round-robin (MSB first) into transposed form.
+  const int totalBits = bits * ndims;
+  for (int bit = 0; bit < totalBits; ++bit) {
+    const int fromTop = totalBits - 1 - bit;  // 0 == most significant
+    const int k = fromTop / ndims;            // round (0 == top bit layer)
+    const int i = fromTop % ndims;            // axis
+    if (index & (std::uint64_t{1} << bit)) {
+      x[static_cast<std::size_t>(i)] |= std::uint32_t{1} << (bits - 1 - k);
+    }
+  }
+  transposeToAxes(x, bits, ndims);
+  return x;
+}
+
+std::uint64_t hilbertCoordsToIndex(const std::vector<std::uint32_t>& coords,
+                                   int bits) {
+  const int ndims = static_cast<int>(coords.size());
+  RAHTM_REQUIRE(bits >= 1 && bits <= 20, "hilbert: bits out of range");
+  RAHTM_REQUIRE(ndims >= 1 && ndims <= 10, "hilbert: ndims out of range");
+  if (ndims == 1) return coords[0];
+  std::vector<std::uint32_t> x = coords;
+  axesToTranspose(x, bits, ndims);
+  std::uint64_t index = 0;
+  const int totalBits = bits * ndims;
+  for (int bit = 0; bit < totalBits; ++bit) {
+    const int fromTop = totalBits - 1 - bit;
+    const int k = fromTop / ndims;
+    const int i = fromTop % ndims;
+    if (x[static_cast<std::size_t>(i)] & (std::uint32_t{1} << (bits - 1 - k))) {
+      index |= std::uint64_t{1} << bit;
+    }
+  }
+  return index;
+}
+
+Mapping HilbertMapper::map(const CommGraph& graph, const Torus& topo,
+                           int concentration) {
+  const RankId ranks = graph.numRanks();
+  RAHTM_REQUIRE(ranks == topo.numNodes() * concentration,
+                "HilbertMapper: ranks != nodes * concentration");
+
+  // Pick the largest group of dimensions sharing an equal power-of-two
+  // extent >= 2 (ties broken toward the larger extent).
+  std::map<std::int32_t, std::vector<std::size_t>> byExtent;
+  for (std::size_t d = 0; d < topo.ndims(); ++d) {
+    if (topo.extent(d) >= 2 && isPowerOfTwo(topo.extent(d))) {
+      byExtent[topo.extent(d)].push_back(d);
+    }
+  }
+  std::vector<std::size_t> hilbertDims;
+  for (const auto& [extent, dims] : byExtent) {
+    if (dims.size() >= hilbertDims.size()) hilbertDims = dims;
+  }
+  RAHTM_REQUIRE(!hilbertDims.empty(),
+                "HilbertMapper: no power-of-two dimensions to curve over");
+  const int hBits = ilog2(topo.extent(hilbertDims[0]));
+  const int hDims = static_cast<int>(hilbertDims.size());
+
+  // Remaining dimensions, traversed dimension-order (T fastest).
+  std::vector<std::size_t> restDims;
+  for (std::size_t d = 0; d < topo.ndims(); ++d) {
+    bool inHilbert = false;
+    for (const std::size_t h : hilbertDims) inHilbert |= (h == d);
+    if (!inHilbert) restDims.push_back(d);
+  }
+  std::int64_t restProduct = 1;
+  for (const std::size_t d : restDims) restProduct *= topo.extent(d);
+
+  Mapping m(ranks);
+  for (RankId r = 0; r < ranks; ++r) {
+    std::int64_t rest = r;
+    const int slot = static_cast<int>(rest % concentration);
+    rest /= concentration;
+    // Rest dimensions in dimension order, rightmost fastest.
+    Coord c(topo.ndims(), 0);
+    for (std::size_t pos = restDims.size(); pos-- > 0;) {
+      const std::size_t d = restDims[pos];
+      c[d] = static_cast<std::int32_t>(rest % topo.extent(d));
+      rest /= topo.extent(d);
+    }
+    // Leading digits walk the Hilbert curve through the curved dims.
+    const auto hc =
+        hilbertIndexToCoords(static_cast<std::uint64_t>(rest), hBits, hDims);
+    for (int i = 0; i < hDims; ++i) {
+      c[hilbertDims[static_cast<std::size_t>(i)]] =
+          static_cast<std::int32_t>(hc[static_cast<std::size_t>(i)]);
+    }
+    m.assign(r, topo.nodeId(c), slot);
+  }
+  return m;
+}
+
+}  // namespace rahtm

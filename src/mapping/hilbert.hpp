@@ -1,0 +1,39 @@
+#pragma once
+/// \file hilbert.hpp
+/// Hilbert space-filling-curve mapping (§IV "Other mappings").
+///
+/// The paper applies a Hilbert curve to the four equal power-of-two
+/// dimensions of the BG/Q partition (A,B,C,D, all of extent 4) and traverses
+/// the remaining dimensions (E and T) in dimension order. This module
+/// implements the d-dimensional Hilbert curve via Skilling's transpose
+/// algorithm and the corresponding mapper.
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/mapping.hpp"
+
+namespace rahtm {
+
+/// Coordinates of position \p index on the \p ndims-dimensional Hilbert
+/// curve through a 2^bits-per-side grid. index ∈ [0, 2^(ndims*bits)).
+/// Consecutive indices are grid neighbours (unit step in one dimension).
+std::vector<std::uint32_t> hilbertIndexToCoords(std::uint64_t index, int bits,
+                                                int ndims);
+
+/// Inverse of hilbertIndexToCoords.
+std::uint64_t hilbertCoordsToIndex(const std::vector<std::uint32_t>& coords,
+                                   int bits);
+
+/// Hilbert-curve mapper: the largest group of dimensions sharing an equal
+/// power-of-two extent (>= 2) is traversed along a Hilbert curve; all other
+/// dimensions plus T are traversed in dimension order (T fastest), exactly
+/// mirroring the paper's "Hilbert over ABCD, then ET" construction.
+class HilbertMapper final : public TaskMapper {
+ public:
+  Mapping map(const CommGraph& graph, const Torus& topo,
+              int concentration) override;
+  std::string name() const override { return "Hilbert"; }
+};
+
+}  // namespace rahtm

@@ -1,0 +1,63 @@
+#include "mapping/mapfile.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace rahtm {
+
+void writeMapfile(std::ostream& os, const Mapping& m, const Torus& topo) {
+  os << "# rahtm mapfile: " << topo.describe() << ", " << m.numRanks()
+     << " ranks\n";
+  for (RankId r = 0; r < m.numRanks(); ++r) {
+    const NodeId n = m.nodeOf(r);
+    RAHTM_REQUIRE(n != kInvalidNode, "writeMapfile: incomplete mapping");
+    const Coord c = topo.coordOf(n);
+    for (std::size_t d = 0; d < c.size(); ++d) os << c[d] << ' ';
+    os << m.slotOf(r) << "\n";
+  }
+}
+
+Mapping readMapfile(std::istream& is, const Torus& topo) {
+  std::vector<std::pair<NodeId, int>> entries;
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    const auto t = trim(line);
+    if (t.empty() || t.front() == '#') continue;
+    const auto fields = splitWhitespace(t);
+    if (fields.size() != topo.ndims() + 1) {
+      throw ParseError("mapfile line " + std::to_string(lineNo) + ": expected " +
+                       std::to_string(topo.ndims() + 1) + " fields, got " +
+                       std::to_string(fields.size()));
+    }
+    Coord c(topo.ndims(), 0);
+    for (std::size_t d = 0; d < topo.ndims(); ++d) {
+      const auto v = parseInt(fields[d]);
+      if (v < 0 || v >= topo.extent(d)) {
+        throw ParseError("mapfile line " + std::to_string(lineNo) +
+                         ": coordinate " + std::to_string(v) +
+                         " out of range for dimension " + std::to_string(d));
+      }
+      c[d] = static_cast<std::int32_t>(v);
+    }
+    const auto slot = parseInt(fields[topo.ndims()]);
+    if (slot < 0) {
+      throw ParseError("mapfile line " + std::to_string(lineNo) +
+                       ": negative slot");
+    }
+    entries.push_back({topo.nodeId(c), static_cast<int>(slot)});
+  }
+  Mapping m(static_cast<RankId>(entries.size()));
+  for (std::size_t r = 0; r < entries.size(); ++r) {
+    m.assign(static_cast<RankId>(r), entries[r].first, entries[r].second);
+  }
+  return m;
+}
+
+}  // namespace rahtm

@@ -1,0 +1,24 @@
+#pragma once
+/// \file mapfile.hpp
+/// BG/Q-style mapfile I/O. The BG/Q MPI runtime accepts an explicit mapfile
+/// with one line per rank giving its torus coordinates plus the intra-node
+/// slot; RAHTM is an offline tool, so this is its deliverable format (§II-B:
+/// "The MPI runtime allows for arbitrary task-to-node mappings that can be
+/// read from a file").
+
+#include <iosfwd>
+
+#include "mapping/mapping.hpp"
+
+namespace rahtm {
+
+/// Write one line per rank: "<c0> <c1> ... <c{n-1}> <slot>".
+/// Lines are ordered by rank.
+void writeMapfile(std::ostream& os, const Mapping& m, const Torus& topo);
+
+/// Parse a mapfile produced by writeMapfile (or by hand). '#' starts a
+/// comment. Throws ParseError on malformed lines, coordinates out of range,
+/// or a rank count that does not match the line count.
+Mapping readMapfile(std::istream& is, const Torus& topo);
+
+}  // namespace rahtm

@@ -1,0 +1,79 @@
+#include "mapping/mapping.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace rahtm {
+
+Mapping::Mapping(RankId numRanks)
+    : nodes_(static_cast<std::size_t>(numRanks), kInvalidNode),
+      slots_(static_cast<std::size_t>(numRanks), -1) {
+  RAHTM_REQUIRE(numRanks >= 0, "Mapping: negative rank count");
+}
+
+void Mapping::assign(RankId rank, NodeId node, int slot) {
+  RAHTM_REQUIRE(rank >= 0 && rank < numRanks(), "Mapping::assign: bad rank");
+  RAHTM_REQUIRE(node >= 0, "Mapping::assign: bad node");
+  RAHTM_REQUIRE(slot >= 0, "Mapping::assign: bad slot");
+  nodes_[static_cast<std::size_t>(rank)] = node;
+  slots_[static_cast<std::size_t>(rank)] = slot;
+}
+
+NodeId Mapping::nodeOf(RankId rank) const {
+  RAHTM_REQUIRE(rank >= 0 && rank < numRanks(), "Mapping::nodeOf: bad rank");
+  return nodes_[static_cast<std::size_t>(rank)];
+}
+
+int Mapping::slotOf(RankId rank) const {
+  RAHTM_REQUIRE(rank >= 0 && rank < numRanks(), "Mapping::slotOf: bad rank");
+  return slots_[static_cast<std::size_t>(rank)];
+}
+
+bool Mapping::complete() const {
+  return std::all_of(nodes_.begin(), nodes_.end(),
+                     [](NodeId n) { return n != kInvalidNode; });
+}
+
+std::string Mapping::validate(const Torus& topo, int concentration) const {
+  std::vector<std::set<int>> slotsUsed(
+      static_cast<std::size_t>(topo.numNodes()));
+  for (RankId r = 0; r < numRanks(); ++r) {
+    const NodeId n = nodes_[static_cast<std::size_t>(r)];
+    const int s = slots_[static_cast<std::size_t>(r)];
+    if (n == kInvalidNode) {
+      return "rank " + std::to_string(r) + " is unmapped";
+    }
+    if (n < 0 || n >= topo.numNodes()) {
+      return "rank " + std::to_string(r) + " mapped to invalid node " +
+             std::to_string(n);
+    }
+    if (s < 0 || s >= concentration) {
+      return "rank " + std::to_string(r) + " has invalid slot " +
+             std::to_string(s);
+    }
+    auto& used = slotsUsed[static_cast<std::size_t>(n)];
+    if (!used.insert(s).second) {
+      return "node " + std::to_string(n) + " slot " + std::to_string(s) +
+             " assigned twice";
+    }
+  }
+  return {};
+}
+
+std::vector<RankId> Mapping::ranksOnNode(NodeId node) const {
+  std::vector<std::pair<int, RankId>> found;
+  for (RankId r = 0; r < numRanks(); ++r) {
+    if (nodes_[static_cast<std::size_t>(r)] == node) {
+      found.push_back({slots_[static_cast<std::size_t>(r)], r});
+    }
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<RankId> out;
+  out.reserve(found.size());
+  for (const auto& [slot, r] : found) out.push_back(r);
+  return out;
+}
+
+}  // namespace rahtm

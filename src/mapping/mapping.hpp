@@ -1,0 +1,62 @@
+#pragma once
+/// \file mapping.hpp
+/// A task mapping: the assignment of every application rank to a compute
+/// node and an intra-node slot (the "T dimension" in BG/Q terminology).
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/comm_graph.hpp"
+#include "topology/torus.hpp"
+
+namespace rahtm {
+
+class Mapping {
+ public:
+  Mapping() = default;
+  explicit Mapping(RankId numRanks);
+
+  RankId numRanks() const { return static_cast<RankId>(nodes_.size()); }
+
+  /// Place \p rank on (\p node, \p slot).
+  void assign(RankId rank, NodeId node, int slot);
+
+  NodeId nodeOf(RankId rank) const;
+  int slotOf(RankId rank) const;
+
+  /// Per-rank node vector (for the load evaluators).
+  const std::vector<NodeId>& nodeVector() const { return nodes_; }
+
+  /// True iff every rank has been assigned a node.
+  bool complete() const;
+
+  /// Validate against a topology: all nodes in range, at most
+  /// \p concentration ranks per node, distinct slots within a node.
+  /// Returns an empty string if valid, else a description of the violation.
+  std::string validate(const Torus& topo, int concentration) const;
+
+  /// Ranks placed on \p node, ordered by slot.
+  std::vector<RankId> ranksOnNode(NodeId node) const;
+
+ private:
+  std::vector<NodeId> nodes_;
+  std::vector<int> slots_;
+};
+
+/// Common interface for every mapper in the study (baselines and RAHTM).
+class TaskMapper {
+ public:
+  virtual ~TaskMapper() = default;
+
+  /// Produce a complete mapping of \p graph.numRanks() ranks onto \p topo
+  /// with \p concentration ranks per node. Requires
+  /// numRanks == topo.numNodes() * concentration.
+  virtual Mapping map(const CommGraph& graph, const Torus& topo,
+                      int concentration) = 0;
+
+  /// Short name used in reports ("ABCDET", "Hilbert", "RAHTM", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace rahtm

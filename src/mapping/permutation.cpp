@@ -1,0 +1,109 @@
+#include "mapping/permutation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rahtm {
+
+PermutationMapper::PermutationMapper(std::string spec) : spec_(std::move(spec)) {
+  RAHTM_REQUIRE(!spec_.empty(), "PermutationMapper: empty spec");
+}
+
+std::vector<int> PermutationMapper::parseSpec(const std::string& spec,
+                                              std::size_t ndims) {
+  if (spec.size() != ndims + 1) {
+    throw ParseError("mapping spec '" + spec + "' must name " +
+                     std::to_string(ndims) + " dimensions plus T");
+  }
+  std::vector<int> order;
+  std::vector<bool> seen(ndims + 1, false);
+  for (const char ch : spec) {
+    int dim;
+    if (ch == 'T' || ch == 't') {
+      dim = static_cast<int>(ndims);
+    } else if (ch >= 'A' && ch < 'A' + static_cast<int>(ndims)) {
+      dim = ch - 'A';
+    } else if (ch >= 'a' && ch < 'a' + static_cast<int>(ndims)) {
+      dim = ch - 'a';
+    } else {
+      throw ParseError(std::string("mapping spec: bad dimension letter '") +
+                       ch + "'");
+    }
+    if (seen[static_cast<std::size_t>(dim)]) {
+      throw ParseError(std::string("mapping spec: duplicate letter '") + ch +
+                       "'");
+    }
+    seen[static_cast<std::size_t>(dim)] = true;
+    order.push_back(dim);
+  }
+  return order;
+}
+
+Mapping PermutationMapper::map(const CommGraph& graph, const Torus& topo,
+                               int concentration) {
+  const auto order = parseSpec(spec_, topo.ndims());
+  const RankId ranks = graph.numRanks();
+  RAHTM_REQUIRE(
+      ranks == topo.numNodes() * concentration,
+      "PermutationMapper: ranks != nodes * concentration");
+
+  // Extended extents: topology dims plus T (= concentration).
+  std::vector<std::int64_t> extent(topo.ndims() + 1);
+  for (std::size_t d = 0; d < topo.ndims(); ++d) extent[d] = topo.extent(d);
+  extent[topo.ndims()] = concentration;
+
+  Mapping m(ranks);
+  for (RankId r = 0; r < ranks; ++r) {
+    // Decompose the rank in mixed radix following the traversal order with
+    // the rightmost spec letter varying fastest.
+    std::vector<std::int64_t> digit(extent.size(), 0);
+    std::int64_t rest = r;
+    for (std::size_t pos = order.size(); pos-- > 0;) {
+      const int dim = order[pos];
+      digit[static_cast<std::size_t>(dim)] =
+          rest % extent[static_cast<std::size_t>(dim)];
+      rest /= extent[static_cast<std::size_t>(dim)];
+    }
+    Coord c(topo.ndims(), 0);
+    for (std::size_t d = 0; d < topo.ndims(); ++d) {
+      c[d] = static_cast<std::int32_t>(digit[d]);
+    }
+    m.assign(r, topo.nodeId(c), static_cast<int>(digit[topo.ndims()]));
+  }
+  return m;
+}
+
+Mapping DefaultMapper::map(const CommGraph& graph, const Torus& topo,
+                           int concentration) {
+  const RankId ranks = graph.numRanks();
+  RAHTM_REQUIRE(ranks == topo.numNodes() * concentration,
+                "DefaultMapper: ranks != nodes * concentration");
+  Mapping m(ranks);
+  for (RankId r = 0; r < ranks; ++r) {
+    m.assign(r, static_cast<NodeId>(r / concentration),
+             static_cast<int>(r % concentration));
+  }
+  return m;
+}
+
+Mapping RandomMapper::map(const CommGraph& graph, const Torus& topo,
+                          int concentration) {
+  const RankId ranks = graph.numRanks();
+  RAHTM_REQUIRE(ranks == topo.numNodes() * concentration,
+                "RandomMapper: ranks != nodes * concentration");
+  std::vector<RankId> perm(static_cast<std::size_t>(ranks));
+  for (RankId r = 0; r < ranks; ++r) perm[static_cast<std::size_t>(r)] = r;
+  Rng rng(seed_);
+  rng.shuffle(perm);
+  Mapping m(ranks);
+  for (RankId i = 0; i < ranks; ++i) {
+    const RankId r = perm[static_cast<std::size_t>(i)];
+    m.assign(r, static_cast<NodeId>(i / concentration),
+             static_cast<int>(i % concentration));
+  }
+  return m;
+}
+
+}  // namespace rahtm

@@ -1,0 +1,60 @@
+#pragma once
+/// \file permutation.hpp
+/// Dimension-permutation mappers — the "ABCDET-style" mappings of §II-B.
+///
+/// On BG/Q the runtime can assign ranks by traversing the 5 torus dimensions
+/// (A..E) plus the intra-node dimension T in any permutation order, with the
+/// rightmost letter of the spec varying fastest. The default ABCDET mapping
+/// fills each node's T slots first, then walks E, then D, and so on. The
+/// paper compares against ABCDET (baseline), TABCDE and ACEBDT.
+
+#include <string>
+#include <vector>
+
+#include "mapping/mapping.hpp"
+
+namespace rahtm {
+
+/// Maps ranks by a dimension-order traversal spec such as "ABCDET".
+/// Letters A.. name torus dimensions 0.. in order; 'T' names the intra-node
+/// slot dimension. Every topology dimension and 'T' must appear exactly once.
+class PermutationMapper final : public TaskMapper {
+ public:
+  explicit PermutationMapper(std::string spec);
+
+  Mapping map(const CommGraph& graph, const Torus& topo,
+              int concentration) override;
+  std::string name() const override { return spec_; }
+
+  /// Parse a spec against a concrete dimensionality; returns the traversal
+  /// order as dimension indices (topology dims 0..n-1; T encoded as n).
+  /// Throws ParseError if letters are missing/duplicated/out of range.
+  static std::vector<int> parseSpec(const std::string& spec,
+                                    std::size_t ndims);
+
+ private:
+  std::string spec_;
+};
+
+/// The BG/Q default mapping (== PermutationMapper("ABCDET") for any
+/// dimensionality): rank r goes to node r / c, slot r % c.
+class DefaultMapper final : public TaskMapper {
+ public:
+  Mapping map(const CommGraph& graph, const Torus& topo,
+              int concentration) override;
+  std::string name() const override { return "ABCDET"; }
+};
+
+/// Uniformly random placement (seeded), as a sanity baseline.
+class RandomMapper final : public TaskMapper {
+ public:
+  explicit RandomMapper(std::uint64_t seed = 42) : seed_(seed) {}
+  Mapping map(const CommGraph& graph, const Torus& topo,
+              int concentration) override;
+  std::string name() const override { return "Random"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace rahtm

@@ -1,0 +1,136 @@
+#include "mapping/rubik.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "topology/subcube.hpp"
+
+namespace rahtm {
+
+RubikMapper::RubikMapper(RubikConfig config) : config_(std::move(config)) {
+  RAHTM_REQUIRE(config_.appShape.size() == config_.appTile.size(),
+                "RubikMapper: appShape/appTile rank mismatch");
+  for (std::size_t d = 0; d < config_.appShape.size(); ++d) {
+    RAHTM_REQUIRE(config_.appTile[d] >= 1 &&
+                      config_.appShape[d] % config_.appTile[d] == 0,
+                  "RubikMapper: tile must divide the app grid");
+  }
+}
+
+RubikMapper RubikMapper::autoFor(RankId ranks, const Torus& topo,
+                                 int concentration) {
+  RAHTM_REQUIRE(ranks == topo.numNodes() * concentration,
+                "RubikMapper::autoFor: ranks != nodes * concentration");
+  RubikConfig cfg;
+
+  // Squarest 2D factorization of the rank count.
+  std::int32_t bestA = 1;
+  for (std::int32_t a = 1;
+       static_cast<std::int64_t>(a) * a <= static_cast<std::int64_t>(ranks); ++a) {
+    if (ranks % a == 0) bestA = a;
+  }
+  cfg.appShape = Shape{bestA, static_cast<std::int32_t>(ranks / bestA)};
+
+  // Machine block: halve the largest extent repeatedly until the block holds
+  // a reasonable sub-torus (16 nodes, or the whole machine if smaller).
+  Shape block = topo.shape();
+  auto blockVolume = [&block]() {
+    std::int64_t v = 1;
+    for (std::size_t d = 0; d < block.size(); ++d) v *= block[d];
+    return v;
+  };
+  const std::int64_t targetNodes = std::min<std::int64_t>(16, topo.numNodes());
+  while (blockVolume() > targetNodes) {
+    std::size_t largest = 0;
+    for (std::size_t d = 1; d < block.size(); ++d) {
+      if (block[d] > block[largest]) largest = d;
+    }
+    RAHTM_REQUIRE(block[largest] % 2 == 0,
+                  "RubikMapper::autoFor: cannot halve odd extent");
+    block[largest] /= 2;
+  }
+  cfg.machineBlock = block;
+
+  // Tile volume = block nodes * concentration; squarest tile that divides
+  // the app grid.
+  const std::int64_t tileVolume = blockVolume() * concentration;
+  Shape bestTile;
+  double bestScore = -1;
+  const Shape maxPerDim = cfg.appShape;
+  for (const Shape& t : orderedFactorizations(tileVolume, maxPerDim)) {
+    bool divides = true;
+    for (std::size_t d = 0; d < t.size(); ++d) {
+      divides &= (cfg.appShape[d] % t[d] == 0);
+    }
+    if (!divides) continue;
+    // Prefer square-ish tiles (maximize min/max ratio).
+    std::int32_t lo = t[0], hi = t[0];
+    for (std::size_t d = 1; d < t.size(); ++d) {
+      lo = std::min(lo, t[d]);
+      hi = std::max(hi, t[d]);
+    }
+    const double score = static_cast<double>(lo) / static_cast<double>(hi);
+    if (score > bestScore) {
+      bestScore = score;
+      bestTile = t;
+    }
+  }
+  RAHTM_REQUIRE(!bestTile.empty(),
+                "RubikMapper::autoFor: no tile shape divides the app grid");
+  cfg.appTile = bestTile;
+  return RubikMapper(cfg);
+}
+
+Mapping RubikMapper::map(const CommGraph& graph, const Torus& topo,
+                         int concentration) {
+  const RankId ranks = graph.numRanks();
+  RAHTM_REQUIRE(ranks == topo.numNodes() * concentration,
+                "RubikMapper: ranks != nodes * concentration");
+
+  std::int64_t appVolume = 1;
+  for (std::size_t d = 0; d < config_.appShape.size(); ++d) {
+    appVolume *= config_.appShape[d];
+  }
+  RAHTM_REQUIRE(appVolume == ranks,
+                "RubikMapper: app grid volume != rank count");
+
+  // Application side: tiles in row-major order of the tile grid; within a
+  // tile, ranks in row-major order of their local position.
+  const Torus appGrid = Torus::mesh(config_.appShape);
+  Shape tileGridShape(config_.appShape.size(), 0);
+  for (std::size_t d = 0; d < config_.appShape.size(); ++d) {
+    tileGridShape[d] = config_.appShape[d] / config_.appTile[d];
+  }
+  const Torus tileGrid = Torus::mesh(tileGridShape);
+  const Torus tileLocal = Torus::mesh(config_.appTile);
+
+  // Machine side: blocks of the torus in row-major order.
+  const auto blocks = partitionIntoBlocks(topo, config_.machineBlock);
+  RAHTM_REQUIRE(static_cast<std::int64_t>(blocks.size()) == tileGrid.numNodes(),
+                "RubikMapper: tile count != block count");
+  const std::int64_t ranksPerTile = tileLocal.numNodes();
+  RAHTM_REQUIRE(
+      ranksPerTile == blocks[0].numNodes() * concentration,
+      "RubikMapper: tile volume != block nodes * concentration");
+
+  Mapping m(ranks);
+  for (RankId r = 0; r < ranks; ++r) {
+    const Coord appPos = appGrid.coordOf(r);
+    Coord tilePos(appPos.size(), 0);
+    Coord local(appPos.size(), 0);
+    for (std::size_t d = 0; d < appPos.size(); ++d) {
+      tilePos[d] = appPos[d] / config_.appTile[d];
+      local[d] = appPos[d] % config_.appTile[d];
+    }
+    const std::int64_t tileIdx = tileGrid.nodeId(tilePos);
+    const std::int64_t localIdx = tileLocal.nodeId(local);
+    const SubcubeView& block = blocks[static_cast<std::size_t>(tileIdx)];
+    const auto nodeLocal = static_cast<NodeId>(localIdx / concentration);
+    const int slot = static_cast<int>(localIdx % concentration);
+    m.assign(r, block.parentNodeOf(nodeLocal), slot);
+  }
+  return m;
+}
+
+}  // namespace rahtm

@@ -1,0 +1,50 @@
+#pragma once
+/// \file rubik.hpp
+/// Rubik-style Hierarchical Tiling (RHT) — the paper's strongest baseline.
+///
+/// Rubik [18] lets an expert tile the application's logical process grid and
+/// map each tile onto a sub-torus of the machine. The paper's configuration
+/// tiles the application space with 4x4 tiles mapped to 4x2x2 sub-tori. This
+/// mapper reproduces that family: partition the application grid into equal
+/// tiles, partition the machine into equal blocks, pair tile i with block i
+/// (row-major order on both grids), and fill each block in dimension order
+/// with T fastest.
+
+#include "mapping/mapping.hpp"
+
+namespace rahtm {
+
+struct RubikConfig {
+  /// Logical shape of the application's rank grid; product must equal the
+  /// number of ranks. Rank r sits at the row-major position r in this grid.
+  Shape appShape;
+  /// Tile shape in the application grid (must divide appShape element-wise).
+  Shape appTile;
+  /// Machine block shape (must divide the torus extents element-wise).
+  /// The tile volume must equal block volume * concentration, and the
+  /// number of tiles must equal the number of blocks.
+  Shape machineBlock;
+};
+
+class RubikMapper final : public TaskMapper {
+ public:
+  explicit RubikMapper(RubikConfig config);
+
+  /// Derive a reasonable configuration automatically: the app grid is the
+  /// squarest 2D factorization of the rank count, tiles hold exactly one
+  /// machine block's worth of ranks, and the machine block is the torus'
+  /// densest corner block of matching volume.
+  static RubikMapper autoFor(RankId ranks, const Torus& topo,
+                             int concentration);
+
+  Mapping map(const CommGraph& graph, const Torus& topo,
+              int concentration) override;
+  std::string name() const override { return "RHT"; }
+
+  const RubikConfig& config() const { return config_; }
+
+ private:
+  RubikConfig config_;
+};
+
+}  // namespace rahtm

@@ -1,0 +1,92 @@
+#include "routing/evaluator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rahtm {
+
+MclEvaluator::MclEvaluator(const Torus& topo)
+    : topo_(&topo),
+      scratch_(static_cast<std::size_t>(topo.numChannelSlots()), 0.0) {}
+
+const std::vector<std::pair<ChannelId, double>>& MclEvaluator::pairEntries(
+    NodeId src, NodeId dst) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+      static_cast<std::uint32_t>(dst);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    std::vector<std::pair<ChannelId, double>> entries;
+    forEachUniformMinimalLoad(
+        *topo_, topo_->coordOf(src), topo_->coordOf(dst), 1.0,
+        [&entries](ChannelId c, double frac) { entries.push_back({c, frac}); });
+    it = cache_.emplace(key, std::move(entries)).first;
+  }
+  return it->second;
+}
+
+MclEvaluator::LoadSummary MclEvaluator::summarize(
+    const CommGraph& graph, const std::vector<NodeId>& nodeOfVertex) {
+  RAHTM_REQUIRE(
+      nodeOfVertex.size() >= static_cast<std::size_t>(graph.numRanks()),
+      "MclEvaluator::summarize: placement too small");
+  for (const ChannelId c : touched_) scratch_[static_cast<std::size_t>(c)] = 0;
+  touched_.clear();
+  for (const Flow& f : graph.flows()) {
+    const NodeId u = nodeOfVertex[static_cast<std::size_t>(f.src)];
+    const NodeId v = nodeOfVertex[static_cast<std::size_t>(f.dst)];
+    RAHTM_REQUIRE(u >= 0 && v >= 0, "MclEvaluator::summarize: unmapped vertex");
+    if (u == v) continue;
+    for (const auto& [channel, frac] : pairEntries(u, v)) {
+      auto& cell = scratch_[static_cast<std::size_t>(channel)];
+      if (cell == 0.0) touched_.push_back(channel);
+      cell += frac * f.bytes;
+    }
+  }
+  LoadSummary s;
+  for (const ChannelId c : touched_) {
+    const double v = scratch_[static_cast<std::size_t>(c)];
+    s.mcl = std::max(s.mcl, v);
+    s.sumSquares += v * v;
+  }
+  return s;
+}
+
+double MclEvaluator::mcl(const CommGraph& graph,
+                         const std::vector<NodeId>& nodeOfVertex) {
+  RAHTM_REQUIRE(
+      nodeOfVertex.size() >= static_cast<std::size_t>(graph.numRanks()),
+      "MclEvaluator::mcl: placement too small");
+  for (const ChannelId c : touched_) scratch_[static_cast<std::size_t>(c)] = 0;
+  touched_.clear();
+  for (const Flow& f : graph.flows()) {
+    const NodeId u = nodeOfVertex[static_cast<std::size_t>(f.src)];
+    const NodeId v = nodeOfVertex[static_cast<std::size_t>(f.dst)];
+    RAHTM_REQUIRE(u >= 0 && v >= 0, "MclEvaluator::mcl: unmapped vertex");
+    if (u == v) continue;
+    for (const auto& [channel, frac] : pairEntries(u, v)) {
+      auto& cell = scratch_[static_cast<std::size_t>(channel)];
+      if (cell == 0.0) touched_.push_back(channel);
+      cell += frac * f.bytes;
+    }
+  }
+  double best = 0;
+  for (const ChannelId c : touched_) {
+    best = std::max(best, scratch_[static_cast<std::size_t>(c)]);
+  }
+  return best;
+}
+
+double MclEvaluator::hopBytesOf(
+    const CommGraph& graph, const std::vector<NodeId>& nodeOfVertex) const {
+  double hb = 0;
+  for (const Flow& f : graph.flows()) {
+    const NodeId u = nodeOfVertex[static_cast<std::size_t>(f.src)];
+    const NodeId v = nodeOfVertex[static_cast<std::size_t>(f.dst)];
+    hb += f.bytes * static_cast<double>(topo_->distance(u, v));
+  }
+  return hb;
+}
+
+}  // namespace rahtm

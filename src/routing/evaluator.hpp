@@ -1,0 +1,59 @@
+#pragma once
+/// \file evaluator.hpp
+/// Fast repeated MCL evaluation of placements on a fixed topology.
+///
+/// The search-based mappers (exhaustive permutation search, simulated
+/// annealing, the merge beam) evaluate millions of placements of the same
+/// communication graph. This evaluator memoizes, per (src,dst) node pair,
+/// the uniform-minimal path decomposition as a flat (channel, fraction)
+/// list, turning each evaluation into a short accumulate-and-max scan.
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/comm_graph.hpp"
+#include "routing/oblivious.hpp"
+#include "topology/torus.hpp"
+
+namespace rahtm {
+
+class MclEvaluator {
+ public:
+  explicit MclEvaluator(const Torus& topo);
+
+  const Torus& topology() const { return *topo_; }
+
+  /// MCL of \p graph under \p nodeOfVertex (uniform-minimal model).
+  /// Identical in value to placementMcl(), but amortized much faster.
+  double mcl(const CommGraph& graph, const std::vector<NodeId>& nodeOfVertex);
+
+  /// MCL together with the sum of squared channel loads. The quadratic term
+  /// is the tie-breaker local searches need on the MCL plateau: most swaps
+  /// leave the maximum untouched, but draining load off busy channels
+  /// (lower sum of squares) opens the path to a lower maximum later.
+  struct LoadSummary {
+    double mcl = 0;
+    double sumSquares = 0;
+  };
+  LoadSummary summarize(const CommGraph& graph,
+                        const std::vector<NodeId>& nodeOfVertex);
+
+  /// Hop-bytes under the same placement (for the routing-unaware ablation).
+  double hopBytesOf(const CommGraph& graph,
+                    const std::vector<NodeId>& nodeOfVertex) const;
+
+ private:
+  const std::vector<std::pair<ChannelId, double>>& pairEntries(NodeId src,
+                                                               NodeId dst);
+
+  const Torus* topo_;
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<ChannelId, double>>>
+      cache_;
+  std::vector<double> scratch_;           // dense channel loads
+  std::vector<ChannelId> touched_;        // channels written this eval
+};
+
+}  // namespace rahtm

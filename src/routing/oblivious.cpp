@@ -1,0 +1,177 @@
+#include "routing/oblivious.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace rahtm {
+
+namespace {
+
+/// One direction-resolved minimal route family: per-dimension hop counts
+/// and directions (ties already resolved to a concrete direction).
+struct Combo {
+  SmallVec<std::int32_t, kMaxDims> steps;
+  SmallVec<Dir, kMaxDims> dirs;
+};
+
+/// Enumerate the 2^t direction combinations over tie dimensions.
+std::vector<Combo> enumerateCombos(const Torus& topo, const Coord& src,
+                                   const Coord& dst) {
+  const std::size_t n = topo.ndims();
+  SmallVec<MinimalOffset, kMaxDims> offs;
+  SmallVec<std::size_t, kMaxDims> tieDims;
+  offs.resize(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    offs[d] = topo.minimalOffset(src, dst, d);
+    if (offs[d].tie && offs[d].steps > 0) tieDims.push_back(d);
+  }
+  std::vector<Combo> combos;
+  const std::size_t count = std::size_t{1} << tieDims.size();
+  combos.reserve(count);
+  for (std::size_t mask = 0; mask < count; ++mask) {
+    Combo c;
+    c.steps.resize(n);
+    c.dirs.resize(n);
+    for (std::size_t d = 0; d < n; ++d) {
+      c.steps[d] = offs[d].steps;
+      c.dirs[d] = offs[d].dir;
+    }
+    for (std::size_t t = 0; t < tieDims.size(); ++t) {
+      if (mask & (std::size_t{1} << t)) {
+        c.dirs[tieDims[t]] = opposite(c.dirs[tieDims[t]]);
+      }
+    }
+    combos.push_back(c);
+  }
+  return combos;
+}
+
+/// Advance a mixed-radix progress counter over [0, steps_d] per dimension.
+/// Returns false when the counter wraps past the last position.
+bool advanceProgress(SmallVec<std::int32_t, kMaxDims>& p,
+                     const SmallVec<std::int32_t, kMaxDims>& steps) {
+  for (std::size_t d = 0; d < p.size(); ++d) {
+    if (p[d] < steps[d]) {
+      ++p[d];
+      return true;
+    }
+    p[d] = 0;
+  }
+  return false;
+}
+
+/// Coordinate reached from \p src after \p p hops in each dimension of the
+/// given combo.
+Coord comboCoord(const Torus& topo, const Coord& src, const Combo& combo,
+                 const SmallVec<std::int32_t, kMaxDims>& p) {
+  Coord c = src;
+  for (std::size_t d = 0; d < p.size(); ++d) {
+    if (p[d] == 0) continue;
+    const std::int32_t k = topo.extent(d);
+    std::int32_t x = c[d] + dirStep(combo.dirs[d]) * p[d];
+    if (topo.wraps(d)) {
+      x = ((x % k) + k) % k;
+    }
+    RAHTM_REQUIRE(x >= 0 && x < k, "comboCoord: stepped off a mesh edge");
+    c[d] = x;
+  }
+  return c;
+}
+
+}  // namespace
+
+double countMinimalPaths(const Torus& topo, const Coord& src,
+                         const Coord& dst) {
+  double total = 0;
+  for (const Combo& combo : enumerateCombos(topo, src, dst)) {
+    total += multinomial(combo.steps);
+  }
+  return total;
+}
+
+void forEachUniformMinimalLoad(
+    const Torus& topo, const Coord& src, const Coord& dst, double volume,
+    const std::function<void(ChannelId, double)>& sink) {
+  if (volume == 0) return;
+  const auto combos = enumerateCombos(topo, src, dst);
+  double totalPaths = 0;
+  for (const Combo& c : combos) totalPaths += multinomial(c.steps);
+  if (totalPaths == 0) return;  // src == dst: no network traffic
+
+  const std::size_t n = topo.ndims();
+  for (const Combo& combo : combos) {
+    SmallVec<std::int32_t, kMaxDims> p(n, 0);
+    // Enumerate every lattice position on this combo's minimal paths.
+    while (true) {
+      const double pathsTo = multinomial(p);
+      const Coord here = comboCoord(topo, src, combo, p);
+      const NodeId hereId = topo.nodeId(here);
+      for (std::size_t d = 0; d < n; ++d) {
+        if (p[d] >= combo.steps[d]) continue;
+        // Take one hop in dimension d: remaining steps after the hop.
+        SmallVec<std::int32_t, kMaxDims> rem(n, 0);
+        for (std::size_t e = 0; e < n; ++e) rem[e] = combo.steps[e] - p[e];
+        rem[d] -= 1;
+        const double pathsFrom = multinomial(rem);
+        const double frac = pathsTo * pathsFrom / totalPaths;
+        sink(topo.channelId(hereId, d, combo.dirs[d]), volume * frac);
+      }
+      if (!advanceProgress(p, combo.steps)) break;
+    }
+  }
+}
+
+void accumulateUniformMinimal(const Torus& topo, const Coord& src,
+                              const Coord& dst, double volume,
+                              ChannelLoadMap& loads) {
+  forEachUniformMinimalLoad(topo, src, dst, volume,
+                            [&loads](ChannelId c, double v) { loads.add(c, v); });
+}
+
+void accumulateDimensionOrder(const Torus& topo, const Coord& src,
+                              const Coord& dst, double volume,
+                              ChannelLoadMap& loads) {
+  if (volume == 0) return;
+  Coord cur = src;
+  for (std::size_t d = 0; d < topo.ndims(); ++d) {
+    MinimalOffset off = topo.minimalOffset(cur, dst, d);
+    for (std::int32_t s = 0; s < off.steps; ++s) {
+      const NodeId hereId = topo.nodeId(cur);
+      loads.add(topo.channelId(hereId, d, off.dir), volume);
+      const auto next = topo.neighbor(cur, d, off.dir);
+      RAHTM_REQUIRE(next.has_value(), "DOR stepped off the topology");
+      cur = *next;
+    }
+  }
+  RAHTM_REQUIRE(cur == dst, "DOR did not reach destination");
+}
+
+ChannelLoadMap placementLoads(const Torus& topo, const CommGraph& graph,
+                              const std::vector<NodeId>& nodeOfVertex,
+                              LoadModel model) {
+  RAHTM_REQUIRE(
+      nodeOfVertex.size() >= static_cast<std::size_t>(graph.numRanks()),
+      "placementLoads: placement too small");
+  ChannelLoadMap loads(topo);
+  for (const Flow& f : graph.flows()) {
+    const NodeId u = nodeOfVertex[static_cast<std::size_t>(f.src)];
+    const NodeId v = nodeOfVertex[static_cast<std::size_t>(f.dst)];
+    RAHTM_REQUIRE(u >= 0 && v >= 0, "placementLoads: unmapped vertex");
+    if (u == v) continue;
+    const Coord cu = topo.coordOf(u);
+    const Coord cv = topo.coordOf(v);
+    if (model == LoadModel::UniformMinimal) {
+      accumulateUniformMinimal(topo, cu, cv, f.bytes, loads);
+    } else {
+      accumulateDimensionOrder(topo, cu, cv, f.bytes, loads);
+    }
+  }
+  return loads;
+}
+
+double placementMcl(const Torus& topo, const CommGraph& graph,
+                    const std::vector<NodeId>& nodeOfVertex, LoadModel model) {
+  return placementLoads(topo, graph, nodeOfVertex, model).maxLoad();
+}
+
+}  // namespace rahtm

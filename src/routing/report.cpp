@@ -1,0 +1,70 @@
+#include "routing/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/stats.hpp"
+#include "routing/oblivious.hpp"
+
+namespace rahtm {
+
+LoadDistribution summarizeLoads(const ChannelLoadMap& loads) {
+  const Torus& topo = loads.topology();
+  std::vector<double> values;
+  for (NodeId n = 0; n < topo.numNodes(); ++n) {
+    for (std::size_t d = 0; d < topo.ndims(); ++d) {
+      for (const Dir dir : {Dir::Plus, Dir::Minus}) {
+        if (!topo.channelValid(n, d, dir)) continue;
+        values.push_back(loads.load(topo.channelId(n, d, dir)));
+      }
+    }
+  }
+  LoadDistribution out;
+  out.channels = static_cast<std::int64_t>(values.size());
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  double sum = 0;
+  double sumSq = 0;
+  for (const double v : values) {
+    sum += v;
+    sumSq += v * v;
+    if (v == 0) ++out.idleChannels;
+  }
+  out.max = values.back();
+  out.mean = sum / static_cast<double>(values.size());
+  out.p50 = values[values.size() / 2];
+  out.p95 = values[static_cast<std::size_t>(
+      static_cast<double>(values.size() - 1) * 0.95)];
+  out.fairness =
+      sumSq > 0 ? (sum * sum) / (static_cast<double>(values.size()) * sumSq)
+                : 1.0;
+  return out;
+}
+
+MappingReport reportMapping(const Torus& topo, const CommGraph& graph,
+                            const std::vector<NodeId>& nodeOfVertex) {
+  MappingReport r;
+  r.uniformMinimal = summarizeLoads(
+      placementLoads(topo, graph, nodeOfVertex, LoadModel::UniformMinimal));
+  r.dimensionOrder = summarizeLoads(
+      placementLoads(topo, graph, nodeOfVertex, LoadModel::DimensionOrder));
+  r.hopBytes = hopBytes(graph, topo, nodeOfVertex);
+  r.avgHops = avgWeightedHops(graph, topo, nodeOfVertex);
+  return r;
+}
+
+std::string formatReport(const MappingReport& report) {
+  std::ostringstream os;
+  const auto line = [&os](const char* name, const LoadDistribution& d) {
+    os << "  " << name << ": max " << d.max << ", mean " << d.mean << ", p95 "
+       << d.p95 << ", fairness " << d.fairness << " (" << d.idleChannels
+       << "/" << d.channels << " idle)\n";
+  };
+  line("MAR model (uniform minimal)", report.uniformMinimal);
+  line("dimension-order routing    ", report.dimensionOrder);
+  os << "  hop-bytes " << report.hopBytes << " (avg hops " << report.avgHops
+     << ")\n";
+  return os.str();
+}
+
+}  // namespace rahtm

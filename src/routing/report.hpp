@@ -1,0 +1,47 @@
+#pragma once
+/// \file report.hpp
+/// Mapping-quality reports: the channel-load statistics a network engineer
+/// would ask for when comparing mappings — MCL under several routing
+/// models, load distribution (mean, percentiles, Jain fairness), and
+/// hop-bytes.
+
+#include <string>
+#include <vector>
+
+#include "graph/comm_graph.hpp"
+#include "routing/channel_load.hpp"
+#include "topology/torus.hpp"
+
+namespace rahtm {
+
+/// Distribution statistics of the valid channels' loads.
+struct LoadDistribution {
+  double max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  /// Jain's fairness index: (Σx)^2 / (n·Σx^2); 1 = perfectly balanced.
+  double fairness = 0;
+  std::int64_t channels = 0;
+  std::int64_t idleChannels = 0;  ///< valid channels with zero load
+};
+
+/// Compute the distribution over the valid channels of \p loads.
+LoadDistribution summarizeLoads(const ChannelLoadMap& loads);
+
+/// Everything about one placement in one struct (uniform-minimal model
+/// plus dimension-order for reference).
+struct MappingReport {
+  LoadDistribution uniformMinimal;
+  LoadDistribution dimensionOrder;
+  double hopBytes = 0;
+  double avgHops = 0;
+};
+
+MappingReport reportMapping(const Torus& topo, const CommGraph& graph,
+                            const std::vector<NodeId>& nodeOfVertex);
+
+/// Render a short human-readable block (used by examples and benches).
+std::string formatReport(const MappingReport& report);
+
+}  // namespace rahtm

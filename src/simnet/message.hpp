@@ -1,0 +1,25 @@
+#pragma once
+/// \file message.hpp
+/// Messages and communication phases as seen by the network simulator.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rahtm::simnet {
+
+/// One point-to-point message between application ranks.
+struct Message {
+  RankId src = kInvalidRank;
+  RankId dst = kInvalidRank;
+  std::int64_t bytes = 0;
+};
+
+/// A communication phase: a set of messages that are all posted at the
+/// start of the phase; the phase completes when every message has been
+/// delivered (BSP-style barrier semantics, which matches the iterative
+/// near-neighbor exchanges of the NAS benchmarks).
+using Phase = std::vector<Message>;
+
+}  // namespace rahtm::simnet

@@ -1,0 +1,375 @@
+#include "simnet/simulator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rahtm::simnet {
+
+namespace {
+
+struct Packet {
+  std::int32_t flits;
+  NodeId dst;
+  std::int64_t readyCycle;  ///< first cycle this packet may transmit
+  std::int32_t msgId;       ///< owning message (for dependency tracking)
+};
+
+enum class QueueKind : std::uint8_t { Link, Injection, Local };
+
+struct Queue {
+  std::deque<Packet> packets;
+  std::int64_t flitsQueued = 0;   ///< total flits waiting (adaptivity signal)
+  std::int32_t headProgress = 0;  ///< flits of the head packet already sent
+  QueueKind kind = QueueKind::Link;
+  NodeId node = kInvalidNode;     ///< owning node (Injection/Local) ...
+  NodeId linkDst = kInvalidNode;  ///< ... or downstream node (Link)
+  bool inActiveList = false;
+  std::int64_t flitsCarried = 0;  ///< stats: flits transmitted on this queue
+};
+
+struct MessageState {
+  RankId src;
+  RankId dst;
+  std::int32_t stage;
+  std::int64_t flitsLeft;
+  bool local;
+};
+
+/// Multi-stage network simulation with per-rank stage dependencies.
+/// A single stage degenerates to barrier semantics (simulatePhase).
+class IterationSim {
+ public:
+  IterationSim(const Torus& topo, const Mapping& mapping,
+               const SimConfig& config)
+      : topo_(topo), mapping_(mapping), cfg_(config), rng_(config.seed) {
+    RAHTM_REQUIRE(cfg_.bytesPerFlit > 0 && cfg_.packetFlits > 0 &&
+                      cfg_.localBandwidth > 0 && cfg_.injectionBandwidth > 0,
+                  "SimConfig: parameters must be positive");
+    const std::size_t slots = static_cast<std::size_t>(topo.numChannelSlots());
+    const std::size_t nodes = static_cast<std::size_t>(topo.numNodes());
+    queues_.resize(slots + 2 * nodes);
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+      const Coord c = topo.coordOf(n);
+      for (std::size_t d = 0; d < topo.ndims(); ++d) {
+        for (const Dir dir : {Dir::Plus, Dir::Minus}) {
+          const auto nb = topo.neighbor(c, d, dir);
+          if (!nb) continue;
+          Queue& q = queues_[static_cast<std::size_t>(topo.channelId(n, d, dir))];
+          q.kind = QueueKind::Link;
+          q.node = n;
+          q.linkDst = topo.nodeId(*nb);
+        }
+      }
+      queues_[slots + static_cast<std::size_t>(n)].kind = QueueKind::Injection;
+      queues_[slots + static_cast<std::size_t>(n)].node = n;
+      queues_[slots + nodes + static_cast<std::size_t>(n)].kind = QueueKind::Local;
+      queues_[slots + nodes + static_cast<std::size_t>(n)].node = n;
+    }
+    slots_ = slots;
+    nodes_ = nodes;
+  }
+
+  PhaseResult run(const std::vector<Phase>& stages) {
+    loadStages(stages);
+    PhaseResult result;
+    std::int64_t cycle = 0;
+    while (remaining_ > 0) {
+      RAHTM_REQUIRE(cycle < cfg_.maxCycles,
+                    "simulate: cycle guard exceeded (livelock?)");
+      step(cycle);
+      ++cycle;
+    }
+    result.cycles = cycle;
+    result.networkFlits = networkFlits_;
+    result.localFlits = localFlits_;
+    result.flitHops = flitHops_;
+    double maxCh = 0;
+    double sumCh = 0;
+    std::int64_t validCh = 0;
+    for (std::size_t i = 0; i < slots_; ++i) {
+      const Queue& q = queues_[i];
+      if (q.linkDst == kInvalidNode) continue;
+      ++validCh;
+      sumCh += static_cast<double>(q.flitsCarried);
+      maxCh = std::max(maxCh, static_cast<double>(q.flitsCarried));
+    }
+    result.maxChannelFlits = maxCh;
+    result.avgChannelFlits = validCh ? sumCh / static_cast<double>(validCh) : 0;
+    return result;
+  }
+
+ private:
+  void loadStages(const std::vector<Phase>& stages) {
+    const auto ranks = static_cast<std::size_t>(mapping_.numRanks());
+    numStages_ = static_cast<std::int32_t>(stages.size());
+    messages_.clear();
+    sentBy_.assign(ranks, {});
+    pendingSend_.assign(ranks, std::vector<std::int32_t>(stages.size(), 0));
+    pendingRecv_.assign(ranks, std::vector<std::int32_t>(stages.size(), 0));
+    rankStage_.assign(ranks, -1);
+    remaining_ = 0;
+
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+      for (const Message& msg : stages[s]) {
+        RAHTM_REQUIRE(msg.src >= 0 && msg.src < mapping_.numRanks() &&
+                          msg.dst >= 0 && msg.dst < mapping_.numRanks(),
+                      "simulate: message rank out of range");
+        RAHTM_REQUIRE(msg.bytes >= 0, "simulate: negative message size");
+        const NodeId srcNode = mapping_.nodeOf(msg.src);
+        const NodeId dstNode = mapping_.nodeOf(msg.dst);
+        RAHTM_REQUIRE(srcNode >= 0 && srcNode < static_cast<NodeId>(nodes_) &&
+                          dstNode >= 0 && dstNode < static_cast<NodeId>(nodes_),
+                      "simulate: rank mapped off-topology");
+        MessageState m;
+        m.src = msg.src;
+        m.dst = msg.dst;
+        m.stage = static_cast<std::int32_t>(s);
+        m.flitsLeft = std::max<std::int64_t>(
+            1, (msg.bytes + cfg_.bytesPerFlit - 1) / cfg_.bytesPerFlit);
+        m.local = (srcNode == dstNode);
+        const auto id = static_cast<std::int32_t>(messages_.size());
+        messages_.push_back(m);
+        sentBy_[static_cast<std::size_t>(msg.src)].push_back(id);
+        ++pendingSend_[static_cast<std::size_t>(msg.src)][s];
+        ++pendingRecv_[static_cast<std::size_t>(msg.dst)][s];
+        remaining_ += m.flitsLeft;  // counted in flits for simplicity
+      }
+    }
+
+    // Release stage 0 for every rank (cascades past empty stages).
+    // Interleave co-located ranks' initial packets round-robin so they
+    // share the NIC fairly.
+    for (std::size_t r = 0; r < ranks; ++r) advanceRank(static_cast<RankId>(r), -1);
+  }
+
+  /// Inject every stage-\p s message of \p rank.
+  void injectRank(RankId rank, std::int32_t s, std::int64_t cycle) {
+    const NodeId node = mapping_.nodeOf(rank);
+    for (const std::int32_t id : sentBy_[static_cast<std::size_t>(rank)]) {
+      const MessageState& m = messages_[static_cast<std::size_t>(id)];
+      if (m.stage != s) continue;
+      Queue& q = m.local ? queues_[slots_ + nodes_ + static_cast<std::size_t>(node)]
+                         : queues_[slots_ + static_cast<std::size_t>(node)];
+      std::int64_t flits = m.flitsLeft;
+      const NodeId dstNode = mapping_.nodeOf(m.dst);
+      while (flits > 0) {
+        const auto p = static_cast<std::int32_t>(
+            std::min<std::int64_t>(flits, cfg_.packetFlits));
+        enqueue(q, Packet{p, dstNode, 0, id}, cycle);
+        flits -= p;
+      }
+    }
+  }
+
+  /// Advance \p rank past every stage whose sends and receives are done.
+  void advanceRank(RankId rank, std::int64_t cycle) {
+    auto& stage = rankStage_[static_cast<std::size_t>(rank)];
+    while (stage + 1 < numStages_) {
+      if (stage >= 0) {
+        const auto s = static_cast<std::size_t>(stage);
+        if (pendingSend_[static_cast<std::size_t>(rank)][s] > 0 ||
+            pendingRecv_[static_cast<std::size_t>(rank)][s] > 0) {
+          return;
+        }
+      }
+      ++stage;
+      injectRank(rank, stage, cycle);
+    }
+  }
+
+  void enqueue(Queue& q, Packet pkt, std::int64_t cycle) {
+    pkt.readyCycle = cycle + 1;
+    q.flitsQueued += pkt.flits;
+    q.packets.push_back(pkt);
+    if (!q.inActiveList) {
+      q.inActiveList = true;
+      active_.push_back(&q - queues_.data());
+    }
+  }
+
+  /// Pick the output channel queue at \p at for a packet headed to \p dst.
+  std::size_t chooseOutput(NodeId at, NodeId dst) {
+    const Coord ca = topo_.coordOf(at);
+    const Coord cd = topo_.coordOf(dst);
+
+    SmallVec<std::size_t, 2 * kMaxDims> candidates;
+    SmallVec<std::int32_t, 2 * kMaxDims> steps;
+    for (std::size_t d = 0; d < topo_.ndims(); ++d) {
+      const MinimalOffset off = topo_.minimalOffset(ca, cd, d);
+      if (off.steps == 0) continue;
+      if (cfg_.routing == RoutingMode::DimensionOrder) {
+        return static_cast<std::size_t>(topo_.channelId(at, d, off.dir));
+      }
+      for (const Dir dir : {off.dir, opposite(off.dir)}) {
+        if (dir != off.dir && !off.tie) continue;
+        candidates.push_back(
+            static_cast<std::size_t>(topo_.channelId(at, d, dir)));
+        steps.push_back(off.steps);
+      }
+    }
+    RAHTM_REQUIRE(!candidates.empty(), "chooseOutput: no productive channel");
+
+    if (cfg_.routing == RoutingMode::UniformMinimal) {
+      // Sample the next hop with probability proportional to the number of
+      // minimal paths continuing through it; tie directions split their
+      // dimension's weight evenly.
+      double weightSum = 0;
+      SmallVec<double, 2 * kMaxDims> weight(candidates.size(), 0);
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        int share = 0;
+        for (std::size_t j = 0; j < candidates.size(); ++j) {
+          if ((candidates[i] >> 1) % topo_.ndims() ==
+              (candidates[j] >> 1) % topo_.ndims()) {
+            ++share;
+          }
+        }
+        weight[i] = static_cast<double>(steps[i]) / share;
+        weightSum += weight[i];
+      }
+      double pick = rng_.nextDouble() * weightSum;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        pick -= weight[i];
+        if (pick <= 0) return candidates[i];
+      }
+      return candidates.back();
+    }
+
+    // MinimalAdaptive: least-occupied candidate, uniform random tie-break
+    // (without it every packet herds onto the first dimension while queues
+    // are still empty).
+    std::size_t best = SIZE_MAX;
+    std::int64_t bestOcc = 0;
+    std::size_t tieCount = 0;
+    for (const std::size_t idx : candidates) {
+      const std::int64_t occ = queues_[idx].flitsQueued;
+      if (best == SIZE_MAX || occ < bestOcc) {
+        best = idx;
+        bestOcc = occ;
+        tieCount = 1;
+      } else if (occ == bestOcc) {
+        ++tieCount;
+        if (rng_.nextBounded(tieCount) == 0) best = idx;  // reservoir pick
+      }
+    }
+    return best;
+  }
+
+  void deliverFlits(std::int32_t msgId, std::int32_t flits,
+                    std::int64_t cycle) {
+    remaining_ -= flits;
+    MessageState& m = messages_[static_cast<std::size_t>(msgId)];
+    m.flitsLeft -= flits;
+    RAHTM_REQUIRE(m.flitsLeft >= 0, "simulate: over-delivered message");
+    if (m.flitsLeft == 0) {
+      const auto s = static_cast<std::size_t>(m.stage);
+      --pendingSend_[static_cast<std::size_t>(m.src)][s];
+      --pendingRecv_[static_cast<std::size_t>(m.dst)][s];
+      advanceRank(m.src, cycle);
+      if (m.dst != m.src) advanceRank(m.dst, cycle);
+    }
+  }
+
+  void step(std::int64_t cycle) {
+    // Snapshot: queues activated during this cycle start next cycle.
+    const std::size_t activeCount = active_.size();
+    for (std::size_t a = 0; a < activeCount; ++a) {
+      Queue& q = queues_[static_cast<std::size_t>(active_[a])];
+      const std::int32_t bandwidth =
+          q.kind == QueueKind::Local
+              ? cfg_.localBandwidth
+              : (q.kind == QueueKind::Injection ? cfg_.injectionBandwidth : 1);
+      std::int32_t budget = bandwidth;
+      while (budget > 0 && !q.packets.empty()) {
+        Packet& head = q.packets.front();
+        if (head.readyCycle > cycle) break;
+        const std::int32_t send = std::min(budget, head.flits - q.headProgress);
+        q.headProgress += send;
+        budget -= send;
+        q.flitsCarried += send;
+        if (q.headProgress < head.flits) break;
+        // Head packet fully transferred: hand it off.
+        const Packet done = head;
+        q.packets.pop_front();
+        q.flitsQueued -= done.flits;
+        q.headProgress = 0;
+        switch (q.kind) {
+          case QueueKind::Local:
+            localFlits_ += done.flits;
+            deliverFlits(done.msgId, done.flits, cycle);
+            break;
+          case QueueKind::Injection:
+          case QueueKind::Link: {
+            const NodeId here =
+                q.kind == QueueKind::Injection ? q.node : q.linkDst;
+            if (q.kind == QueueKind::Link) {
+              flitHops_ += done.flits;
+            } else {
+              networkFlits_ += done.flits;
+            }
+            if (here == done.dst) {
+              deliverFlits(done.msgId, done.flits, cycle);
+            } else {
+              enqueue(queues_[chooseOutput(here, done.dst)], done, cycle);
+            }
+            break;
+          }
+        }
+      }
+    }
+    // Compact the active list (drop drained queues).
+    std::size_t w = 0;
+    for (std::size_t a = 0; a < active_.size(); ++a) {
+      Queue& q = queues_[static_cast<std::size_t>(active_[a])];
+      if (q.packets.empty()) {
+        q.inActiveList = false;
+      } else {
+        active_[w++] = active_[a];
+      }
+    }
+    active_.resize(w);
+  }
+
+  const Torus& topo_;
+  const Mapping& mapping_;
+  SimConfig cfg_;
+  Rng rng_;
+  std::vector<Queue> queues_;
+  std::vector<std::ptrdiff_t> active_;
+  std::size_t slots_ = 0;
+  std::size_t nodes_ = 0;
+
+  std::vector<MessageState> messages_;
+  std::vector<std::vector<std::int32_t>> sentBy_;
+  std::vector<std::vector<std::int32_t>> pendingSend_;
+  std::vector<std::vector<std::int32_t>> pendingRecv_;
+  std::vector<std::int32_t> rankStage_;
+  std::int32_t numStages_ = 0;
+  std::int64_t remaining_ = 0;  ///< undelivered flits
+
+  std::int64_t networkFlits_ = 0;
+  std::int64_t localFlits_ = 0;
+  std::int64_t flitHops_ = 0;
+};
+
+}  // namespace
+
+PhaseResult simulatePhase(const Torus& topo, const Mapping& mapping,
+                          const Phase& phase, const SimConfig& config) {
+  RAHTM_REQUIRE(mapping.complete(), "simulatePhase: incomplete mapping");
+  IterationSim sim(topo, mapping, config);
+  return sim.run({phase});
+}
+
+PhaseResult simulateIteration(const Torus& topo, const Mapping& mapping,
+                              const std::vector<Phase>& stages,
+                              const SimConfig& config) {
+  RAHTM_REQUIRE(mapping.complete(), "simulateIteration: incomplete mapping");
+  IterationSim sim(topo, mapping, config);
+  return sim.run(stages);
+}
+
+}  // namespace rahtm::simnet

@@ -1,0 +1,127 @@
+#include "topology/fattree.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rahtm {
+
+FatTree::FatTree(std::vector<int> downArity, std::vector<int> multiplicity)
+    : downArity_(std::move(downArity)), multiplicity_(std::move(multiplicity)) {
+  RAHTM_REQUIRE(!downArity_.empty(), "FatTree: need at least one level");
+  RAHTM_REQUIRE(downArity_.size() == multiplicity_.size(),
+                "FatTree: arity/multiplicity size mismatch");
+  for (std::size_t k = 0; k < downArity_.size(); ++k) {
+    RAHTM_REQUIRE(downArity_[k] >= 2, "FatTree: arity must be >= 2");
+    RAHTM_REQUIRE(multiplicity_[k] >= 1, "FatTree: multiplicity must be >= 1");
+  }
+  groupSize_.resize(downArity_.size());
+  for (std::size_t k = 0; k < downArity_.size(); ++k) {
+    numNodes_ *= downArity_[k];
+    groupSize_[k] = numNodes_;
+  }
+}
+
+FatTree FatTree::uniform(int arity, int levels, bool fat) {
+  std::vector<int> arities(static_cast<std::size_t>(levels), arity);
+  std::vector<int> mult(static_cast<std::size_t>(levels), 1);
+  if (fat) {
+    int m = 1;
+    for (int k = 0; k < levels; ++k) {
+      mult[static_cast<std::size_t>(k)] = m;
+      m *= 2;
+    }
+  }
+  return FatTree(std::move(arities), std::move(mult));
+}
+
+int FatTree::downArity(int level) const {
+  RAHTM_REQUIRE(level >= 0 && level < levels(), "downArity: bad level");
+  return downArity_[static_cast<std::size_t>(level)];
+}
+
+int FatTree::multiplicity(int level) const {
+  RAHTM_REQUIRE(level >= 0 && level < levels(), "multiplicity: bad level");
+  return multiplicity_[static_cast<std::size_t>(level)];
+}
+
+std::int64_t FatTree::groupsAt(int level) const {
+  RAHTM_REQUIRE(level >= 0 && level <= levels(), "groupsAt: bad level");
+  if (level == 0) return numNodes_;
+  return numNodes_ / groupSize_[static_cast<std::size_t>(level) - 1];
+}
+
+std::int64_t FatTree::groupOf(NodeId node, int level) const {
+  RAHTM_REQUIRE(node >= 0 && node < numNodes_, "groupOf: bad node");
+  RAHTM_REQUIRE(level >= 0 && level <= levels(), "groupOf: bad level");
+  if (level == 0) return node;
+  return node / groupSize_[static_cast<std::size_t>(level) - 1];
+}
+
+int FatTree::ncaLevel(NodeId a, NodeId b) const {
+  for (int level = 0; level <= levels(); ++level) {
+    if (groupOf(a, level) == groupOf(b, level)) return level;
+  }
+  RAHTM_REQUIRE(false, "ncaLevel: nodes share no ancestor (impossible)");
+  return levels();
+}
+
+std::string FatTree::describe() const {
+  std::ostringstream os;
+  os << "fattree";
+  for (std::size_t k = 0; k < downArity_.size(); ++k) {
+    os << ' ' << downArity_[k] << ":" << multiplicity_[k];
+  }
+  os << " (" << numNodes_ << " nodes)";
+  return os.str();
+}
+
+FatTreeLoads::FatTreeLoads(const FatTree& tree) : tree_(&tree) {
+  up_.resize(static_cast<std::size_t>(tree.levels()));
+  down_.resize(static_cast<std::size_t>(tree.levels()));
+  for (int k = 0; k < tree.levels(); ++k) {
+    // Bundles between level-k units and their level-(k+1) switch: one per
+    // level-k unit; level-0 units are the compute nodes themselves.
+    up_[static_cast<std::size_t>(k)]
+        .assign(static_cast<std::size_t>(tree.groupsAt(k)), 0.0);
+    down_[static_cast<std::size_t>(k)]
+        .assign(static_cast<std::size_t>(tree.groupsAt(k)), 0.0);
+  }
+}
+
+void FatTreeLoads::addFlow(NodeId src, NodeId dst, double volume) {
+  if (src == dst || volume == 0) return;
+  const int nca = tree_->ncaLevel(src, dst);
+  for (int k = 0; k < nca; ++k) {
+    up_[static_cast<std::size_t>(k)]
+       [static_cast<std::size_t>(tree_->groupOf(src, k))] += volume;
+    down_[static_cast<std::size_t>(k)]
+         [static_cast<std::size_t>(tree_->groupOf(dst, k))] += volume;
+  }
+}
+
+double FatTreeLoads::maxLinkLoad() const {
+  double best = 0;
+  for (int k = 0; k < tree_->levels(); ++k) {
+    const double m = tree_->multiplicity(k);
+    for (const double v : up_[static_cast<std::size_t>(k)]) {
+      best = std::max(best, v / m);
+    }
+    for (const double v : down_[static_cast<std::size_t>(k)]) {
+      best = std::max(best, v / m);
+    }
+  }
+  return best;
+}
+
+double FatTreeLoads::levelVolume(int level) const {
+  RAHTM_REQUIRE(level >= 0 && level < tree_->levels(),
+                "levelVolume: bad level");
+  double total = 0;
+  for (const double v : up_[static_cast<std::size_t>(level)]) total += v;
+  for (const double v : down_[static_cast<std::size_t>(level)]) total += v;
+  return total;
+}
+
+}  // namespace rahtm

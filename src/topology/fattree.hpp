@@ -1,0 +1,81 @@
+#pragma once
+/// \file fattree.hpp
+/// Fat-tree topology and channel-load model — the §VI applicability claim:
+/// "leaf-level topology partitions can be other structures such as trees
+/// ... RAHTM can be extended to other topologies like fat-trees".
+///
+/// The machine is a tree of switch levels above the compute nodes. Level k
+/// groups `downArity[k]` level-(k-1) units under one switch, connected by a
+/// bundle of `multiplicity[k]` parallel links (1 = tapered tree; larger
+/// values fatten the upper levels; doubling per level approximates the
+/// classic non-blocking fat-tree). Routing is the standard up/down
+/// nearest-common-ancestor scheme with uniform spreading across each
+/// bundle's parallel links, so per-physical-link expected loads — and the
+/// MCL — have a closed form, exactly mirroring the torus MAR model.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rahtm {
+
+class FatTree {
+ public:
+  /// \p downArity[k] = children per level-(k+1) switch (k = 0 names the
+  /// leaf level grouping compute nodes); \p multiplicity[k] = parallel
+  /// links in each level-(k+1) bundle. Both lists share one length (the
+  /// number of switch levels).
+  FatTree(std::vector<int> downArity, std::vector<int> multiplicity);
+
+  /// Convenience: constant-arity tree of the given depth; multiplicities
+  /// all 1 (a "skinny" tapered tree) or doubling per level ("fat").
+  static FatTree uniform(int arity, int levels, bool fat);
+
+  int levels() const { return static_cast<int>(downArity_.size()); }
+  std::int64_t numNodes() const { return numNodes_; }
+  int downArity(int level) const;
+  int multiplicity(int level) const;
+
+  /// Number of level-\p level groups (level 0 = compute nodes).
+  std::int64_t groupsAt(int level) const;
+  /// Group of \p node at \p level (level 0 returns the node itself).
+  std::int64_t groupOf(NodeId node, int level) const;
+  /// Lowest level at which two nodes share a group (0 iff equal).
+  int ncaLevel(NodeId a, NodeId b) const;
+
+  std::string describe() const;
+
+ private:
+  std::vector<int> downArity_;
+  std::vector<int> multiplicity_;
+  std::vector<std::int64_t> groupSize_;  // nodes per level-(k+1) group
+  std::int64_t numNodes_ = 1;
+};
+
+/// Per-bundle loads under up/down (nearest-common-ancestor) routing.
+/// A flow with NCA at level L climbs the up bundle of its source-side
+/// group at levels 1..L and descends the down bundles on the destination
+/// side.
+class FatTreeLoads {
+ public:
+  explicit FatTreeLoads(const FatTree& tree);
+
+  /// Accumulate a flow of \p volume from node \p src to node \p dst.
+  void addFlow(NodeId src, NodeId dst, double volume);
+
+  /// Maximum per-physical-link load (bundle load / bundle multiplicity).
+  double maxLinkLoad() const;
+  /// Total volume crossing the bundles of \p level (diagnostics).
+  double levelVolume(int level) const;
+
+ private:
+  const FatTree* tree_;
+  // up_[k][g] / down_[k][g]: bundle between level-k group g and its parent
+  // switch (k from 0 = compute-node uplinks... we index by child level).
+  std::vector<std::vector<double>> up_;
+  std::vector<std::vector<double>> down_;
+};
+
+}  // namespace rahtm

@@ -1,0 +1,11 @@
+#include "topology/presets.hpp"
+
+namespace rahtm {
+
+Torus bgqPartition512() { return Torus::torus(Shape{4, 4, 4, 4, 2}); }
+
+Torus bgqPartition128() { return Torus::torus(Shape{4, 4, 4, 2}); }
+
+Torus torus32() { return Torus::torus(Shape{2, 2, 2, 2, 2}); }
+
+}  // namespace rahtm

@@ -1,0 +1,23 @@
+#pragma once
+/// \file presets.hpp
+/// Canonical topologies used throughout the experiments.
+
+#include "topology/torus.hpp"
+
+namespace rahtm {
+
+/// The BG/Q partition the paper evaluates on: a 4x4x4x4x2 5D torus
+/// (512 nodes). Dimensions are conventionally named A,B,C,D,E.
+Torus bgqPartition512();
+
+/// A scaled-down stand-in with the same structure (power-of-two extents,
+/// one short dimension): 4x4x4x2 = 128 nodes.
+Torus bgqPartition128();
+
+/// The smallest 5D structure: 2x2x2x2x2 = 32 nodes.
+Torus torus32();
+
+/// Conventional names of the BG/Q torus dimensions.
+inline constexpr const char* kBgqDimNames = "ABCDE";
+
+}  // namespace rahtm

@@ -1,0 +1,187 @@
+#include "topology/torus.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rahtm {
+
+Torus::Torus(const Shape& dims, const SmallVec<std::uint8_t, kMaxDims>& wrap)
+    : dims_(dims), wrap_(wrap) {
+  RAHTM_REQUIRE(!dims.empty(), "Torus: need at least one dimension");
+  RAHTM_REQUIRE(dims.size() == wrap.size(), "Torus: dims/wrap size mismatch");
+  numNodes_ = 1;
+  stride_.resize(dims.size());
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    RAHTM_REQUIRE(dims[d] >= 1, "Torus: extents must be positive");
+  }
+  // Row-major: last dimension has stride 1.
+  for (std::size_t d = dims.size(); d-- > 0;) {
+    stride_[d] = numNodes_;
+    numNodes_ *= dims[d];
+  }
+}
+
+Torus Torus::torus(const Shape& dims) {
+  SmallVec<std::uint8_t, kMaxDims> wrap(dims.size(), 1);
+  return Torus(dims, wrap);
+}
+
+Torus Torus::mesh(const Shape& dims) {
+  SmallVec<std::uint8_t, kMaxDims> wrap(dims.size(), 0);
+  return Torus(dims, wrap);
+}
+
+Torus Torus::mixed(const Shape& dims,
+                   const SmallVec<std::uint8_t, kMaxDims>& wrap) {
+  return Torus(dims, wrap);
+}
+
+NodeId Torus::nodeId(const Coord& c) const {
+  RAHTM_REQUIRE(contains(c), "nodeId: coordinate out of range");
+  std::int64_t id = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) id += c[d] * stride_[d];
+  return static_cast<NodeId>(id);
+}
+
+Coord Torus::coordOf(NodeId id) const {
+  RAHTM_REQUIRE(id >= 0 && id < numNodes_, "coordOf: node id out of range");
+  Coord c(dims_.size(), 0);
+  std::int64_t rest = id;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    c[d] = static_cast<std::int32_t>(rest / stride_[d]);
+    rest %= stride_[d];
+  }
+  return c;
+}
+
+bool Torus::contains(const Coord& c) const {
+  if (c.size() != dims_.size()) return false;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    if (c[d] < 0 || c[d] >= dims_[d]) return false;
+  }
+  return true;
+}
+
+std::optional<Coord> Torus::neighbor(const Coord& c, std::size_t dim,
+                                     Dir dir) const {
+  RAHTM_REQUIRE(dim < dims_.size(), "neighbor: bad dimension");
+  const std::int32_t k = dims_[dim];
+  if (k == 1) return std::nullopt;
+  Coord n = c;
+  std::int32_t x = c[dim] + dirStep(dir);
+  if (x < 0 || x >= k) {
+    if (!wraps(dim)) return std::nullopt;
+    x = (x + k) % k;
+  }
+  n[dim] = x;
+  return n;
+}
+
+ChannelId Torus::channelId(NodeId node, std::size_t dim, Dir dir) const {
+  RAHTM_REQUIRE(node >= 0 && node < numNodes_, "channelId: bad node");
+  RAHTM_REQUIRE(dim < dims_.size(), "channelId: bad dimension");
+  return (static_cast<std::int64_t>(node) * static_cast<std::int64_t>(ndims()) +
+          static_cast<std::int64_t>(dim)) *
+             2 +
+         static_cast<std::int64_t>(dir);
+}
+
+bool Torus::channelValid(NodeId node, std::size_t dim, Dir dir) const {
+  return neighbor(coordOf(node), dim, dir).has_value();
+}
+
+std::int64_t Torus::numChannels() const {
+  std::int64_t count = 0;
+  for (NodeId n = 0; n < numNodes_; ++n) {
+    const Coord c = coordOf(n);
+    for (std::size_t d = 0; d < ndims(); ++d) {
+      if (neighbor(c, d, Dir::Plus)) ++count;
+      if (neighbor(c, d, Dir::Minus)) ++count;
+    }
+  }
+  return count;
+}
+
+Torus::ChannelRef Torus::channelRef(ChannelId id) const {
+  RAHTM_REQUIRE(id >= 0 && id < numChannelSlots(), "channelRef: bad channel");
+  const auto dir = static_cast<Dir>(id & 1);
+  const std::int64_t rest = id >> 1;
+  const auto dim = static_cast<std::size_t>(rest % static_cast<std::int64_t>(ndims()));
+  const auto node = static_cast<NodeId>(rest / static_cast<std::int64_t>(ndims()));
+  return ChannelRef{node, dim, dir};
+}
+
+NodeId Torus::channelDst(ChannelId id) const {
+  const ChannelRef ref = channelRef(id);
+  const auto n = neighbor(coordOf(ref.node), ref.dim, ref.dir);
+  RAHTM_REQUIRE(n.has_value(), "channelDst: invalid channel");
+  return nodeId(*n);
+}
+
+MinimalOffset Torus::minimalOffset(const Coord& src, const Coord& dst,
+                                   std::size_t dim) const {
+  RAHTM_REQUIRE(dim < dims_.size(), "minimalOffset: bad dimension");
+  RAHTM_REQUIRE(contains(src) && contains(dst), "minimalOffset: bad coords");
+  const std::int32_t k = dims_[dim];
+  const std::int32_t delta = dst[dim] - src[dim];
+  MinimalOffset off;
+  if (delta == 0) return off;
+  if (!wraps(dim)) {
+    off.steps = delta > 0 ? delta : -delta;
+    off.dir = delta > 0 ? Dir::Plus : Dir::Minus;
+    return off;
+  }
+  const std::int32_t fwd = ((delta % k) + k) % k;  // hops going Plus
+  const std::int32_t bwd = k - fwd;                // hops going Minus
+  if (fwd < bwd) {
+    off.steps = fwd;
+    off.dir = Dir::Plus;
+  } else if (bwd < fwd) {
+    off.steps = bwd;
+    off.dir = Dir::Minus;
+  } else {  // exactly k/2: both directions are minimal
+    off.steps = fwd;
+    off.dir = Dir::Plus;
+    off.tie = true;
+  }
+  return off;
+}
+
+std::int32_t Torus::distance(const Coord& src, const Coord& dst) const {
+  std::int32_t hops = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    hops += minimalOffset(src, dst, d).steps;
+  }
+  return hops;
+}
+
+std::int32_t Torus::distance(NodeId src, NodeId dst) const {
+  return distance(coordOf(src), coordOf(dst));
+}
+
+std::int32_t Torus::diameter() const {
+  std::int32_t d = 0;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    d += wraps(i) ? dims_[i] / 2 : dims_[i] - 1;
+  }
+  return d;
+}
+
+std::string Torus::describe() const {
+  std::ostringstream os;
+  bool allWrap = true;
+  bool noneWrap = true;
+  for (std::size_t d = 0; d < ndims(); ++d) {
+    (wraps(d) ? noneWrap : allWrap) = false;
+  }
+  os << (allWrap ? "torus " : (noneWrap ? "mesh " : "mixed "));
+  for (std::size_t d = 0; d < ndims(); ++d) {
+    if (d) os << 'x';
+    os << dims_[d];
+    if (!allWrap && !noneWrap) os << (wraps(d) ? "t" : "m");
+  }
+  return os.str();
+}
+
+}  // namespace rahtm

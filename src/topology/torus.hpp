@@ -1,0 +1,110 @@
+#pragma once
+/// \file torus.hpp
+/// Mixed-radix k-ary n-torus / n-mesh topology model.
+///
+/// Nodes are identified by dense ids in row-major (last dimension fastest)
+/// order of their coordinates. Directed channels are identified by
+/// (node, dimension, direction) triples; a torus dimension of extent 2
+/// contributes *two* physical channels between its node pair (the regular
+/// and the wraparound link), which is exactly the "2-ary torus == 2-ary mesh
+/// with double-wide links" equivalence the paper exploits in §III-C.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/small_vec.hpp"
+#include "common/types.hpp"
+
+namespace rahtm {
+
+/// Direction along a dimension: +1 ("plus") or -1 ("minus").
+enum class Dir : std::int8_t { Plus = 0, Minus = 1 };
+
+inline Dir opposite(Dir d) { return d == Dir::Plus ? Dir::Minus : Dir::Plus; }
+inline int dirStep(Dir d) { return d == Dir::Plus ? 1 : -1; }
+
+/// Per-dimension description of the minimal route from a source to a
+/// destination: number of hops, canonical direction, and whether the
+/// opposite direction is equally minimal (torus tie at exactly k/2).
+struct MinimalOffset {
+  std::int32_t steps = 0;   ///< hops needed in this dimension
+  Dir dir = Dir::Plus;      ///< canonical minimal direction
+  bool tie = false;         ///< both directions minimal (steps == extent/2)
+};
+
+/// A mixed-radix torus or mesh (wraparound configurable per dimension).
+class Torus {
+ public:
+  /// Torus with wraparound in every dimension.
+  static Torus torus(const Shape& dims);
+  /// Mesh (no wraparound in any dimension).
+  static Torus mesh(const Shape& dims);
+  /// Mixed: \p wrap[i] selects wraparound for dimension i.
+  static Torus mixed(const Shape& dims, const SmallVec<std::uint8_t, kMaxDims>& wrap);
+
+  std::size_t ndims() const { return dims_.size(); }
+  std::int32_t extent(std::size_t dim) const { return dims_.at(dim); }
+  const Shape& shape() const { return dims_; }
+  bool wraps(std::size_t dim) const { return wrap_.at(dim) != 0; }
+  std::int64_t numNodes() const { return numNodes_; }
+
+  /// Dense node id of a coordinate (row-major, last dimension fastest).
+  NodeId nodeId(const Coord& c) const;
+  /// Coordinate of a node id.
+  Coord coordOf(NodeId id) const;
+  /// True iff every coordinate entry lies within the extents.
+  bool contains(const Coord& c) const;
+
+  /// Neighbor of \p c one step along \p dim in direction \p dir, or nullopt
+  /// at a mesh boundary / in a degenerate (extent-1) dimension.
+  std::optional<Coord> neighbor(const Coord& c, std::size_t dim, Dir dir) const;
+
+  /// --- Directed channels -------------------------------------------------
+  /// Channels are dense: id = (node * ndims + dim) * 2 + dir. Some ids are
+  /// invalid (mesh boundaries, extent-1 dimensions); use channelValid().
+  std::int64_t numChannelSlots() const {
+    return numNodes_ * static_cast<std::int64_t>(ndims()) * 2;
+  }
+  ChannelId channelId(NodeId node, std::size_t dim, Dir dir) const;
+  bool channelValid(NodeId node, std::size_t dim, Dir dir) const;
+  /// Number of valid directed channels.
+  std::int64_t numChannels() const;
+
+  /// Decompose a channel id back into (node, dim, dir).
+  struct ChannelRef {
+    NodeId node;
+    std::size_t dim;
+    Dir dir;
+  };
+  ChannelRef channelRef(ChannelId id) const;
+  /// Destination node of a (valid) channel.
+  NodeId channelDst(ChannelId id) const;
+
+  /// --- Minimal routing geometry -------------------------------------------
+  /// Minimal per-dimension offset from \p src to \p dst along \p dim.
+  MinimalOffset minimalOffset(const Coord& src, const Coord& dst,
+                              std::size_t dim) const;
+  /// Hop distance of a minimal route (sum of per-dimension steps).
+  std::int32_t distance(const Coord& src, const Coord& dst) const;
+  std::int32_t distance(NodeId src, NodeId dst) const;
+  /// Largest possible hop distance in this topology (network diameter).
+  std::int32_t diameter() const;
+
+  /// Human-readable form, e.g. "torus 4x4x4x2".
+  std::string describe() const;
+
+  friend bool operator==(const Torus& a, const Torus& b) {
+    return a.dims_ == b.dims_ && a.wrap_ == b.wrap_;
+  }
+
+ private:
+  Torus(const Shape& dims, const SmallVec<std::uint8_t, kMaxDims>& wrap);
+
+  Shape dims_;
+  SmallVec<std::uint8_t, kMaxDims> wrap_;
+  SmallVec<std::int64_t, kMaxDims> stride_;
+  std::int64_t numNodes_ = 0;
+};
+
+}  // namespace rahtm

@@ -1,0 +1,198 @@
+#include "workloads/collectives.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace rahtm {
+
+const char* toString(CollectiveAlgorithm algorithm) {
+  switch (algorithm) {
+    case CollectiveAlgorithm::AllgatherRecursiveDoubling:
+      return "allgather-recdbl";
+    case CollectiveAlgorithm::AllgatherRing:
+      return "allgather-ring";
+    case CollectiveAlgorithm::AllgatherDissemination:
+      return "allgather-dissem";
+    case CollectiveAlgorithm::AllreduceRabenseifner:
+      return "allreduce-rabenseifner";
+    case CollectiveAlgorithm::BroadcastBinomial:
+      return "bcast-binomial";
+    case CollectiveAlgorithm::AlltoallPairwise:
+      return "alltoall-pairwise";
+    case CollectiveAlgorithm::ReduceBinomial:
+      return "reduce-binomial";
+  }
+  return "?";
+}
+
+namespace {
+
+void requirePowerOfTwo(RankId ranks, const char* what) {
+  RAHTM_REQUIRE(ranks >= 2 && isPowerOfTwo(ranks),
+                std::string(what) + " needs a power-of-two rank count");
+}
+
+/// Recursive doubling allgather: stage k pairs ranks differing in bit k;
+/// each rank sends the 2^k blocks it has accumulated.
+std::vector<simnet::Phase> allgatherRecursiveDoubling(RankId ranks,
+                                                      std::int64_t bytes) {
+  requirePowerOfTwo(ranks, "recursive-doubling allgather");
+  std::vector<simnet::Phase> stages;
+  for (RankId bit = 1; bit < ranks; bit <<= 1) {
+    simnet::Phase phase;
+    for (RankId r = 0; r < ranks; ++r) {
+      phase.push_back({r, r ^ bit, bytes * bit});
+    }
+    stages.push_back(std::move(phase));
+  }
+  return stages;
+}
+
+/// Ring allgather: P-1 stages, each rank forwards one block to its
+/// successor.
+std::vector<simnet::Phase> allgatherRing(RankId ranks, std::int64_t bytes) {
+  RAHTM_REQUIRE(ranks >= 2, "ring allgather needs at least two ranks");
+  std::vector<simnet::Phase> stages;
+  for (RankId s = 0; s + 1 < ranks; ++s) {
+    simnet::Phase phase;
+    for (RankId r = 0; r < ranks; ++r) {
+      phase.push_back({r, static_cast<RankId>((r + 1) % ranks), bytes});
+    }
+    stages.push_back(std::move(phase));
+  }
+  return stages;
+}
+
+/// Dissemination (Bruck) allgather: stage k sends 2^k blocks to the rank
+/// 2^k positions away (modular offset, not XOR).
+std::vector<simnet::Phase> allgatherDissemination(RankId ranks,
+                                                  std::int64_t bytes) {
+  RAHTM_REQUIRE(ranks >= 2, "dissemination allgather needs >= 2 ranks");
+  std::vector<simnet::Phase> stages;
+  for (RankId offset = 1; offset < ranks; offset <<= 1) {
+    simnet::Phase phase;
+    const std::int64_t blocks = std::min<std::int64_t>(offset, ranks - offset);
+    for (RankId r = 0; r < ranks; ++r) {
+      phase.push_back(
+          {r, static_cast<RankId>((r + offset) % ranks), bytes * blocks});
+    }
+    stages.push_back(std::move(phase));
+  }
+  return stages;
+}
+
+/// Rabenseifner allreduce: reduce-scatter by recursive halving (volumes
+/// halve each stage), then allgather by recursive doubling (volumes double).
+std::vector<simnet::Phase> allreduceRabenseifner(RankId ranks,
+                                                 std::int64_t bytes) {
+  requirePowerOfTwo(ranks, "Rabenseifner allreduce");
+  std::vector<simnet::Phase> stages;
+  // Reduce-scatter: stage k exchanges bytes / 2^(k+1) with the rank
+  // differing in the k-th highest... (classic: start with the top bit).
+  for (RankId bit = ranks >> 1; bit >= 1; bit >>= 1) {
+    simnet::Phase phase;
+    const std::int64_t vol = bytes * bit / ranks;
+    for (RankId r = 0; r < ranks; ++r) {
+      phase.push_back({r, r ^ bit, vol});
+    }
+    stages.push_back(std::move(phase));
+  }
+  // Allgather back: recursive doubling with growing volumes.
+  for (RankId bit = 1; bit < ranks; bit <<= 1) {
+    simnet::Phase phase;
+    const std::int64_t vol = bytes * bit / ranks;
+    for (RankId r = 0; r < ranks; ++r) {
+      phase.push_back({r, r ^ bit, vol});
+    }
+    stages.push_back(std::move(phase));
+  }
+  return stages;
+}
+
+/// Binomial-tree broadcast rooted at \p root: stage k doubles the set of
+/// informed ranks.
+std::vector<simnet::Phase> broadcastBinomial(RankId ranks, std::int64_t bytes,
+                                             RankId root) {
+  requirePowerOfTwo(ranks, "binomial broadcast");
+  std::vector<simnet::Phase> stages;
+  // Work in the rotated space where the root is rank 0.
+  for (RankId bit = ranks >> 1; bit >= 1; bit >>= 1) {
+    simnet::Phase phase;
+    for (RankId v = 0; v < ranks; ++v) {
+      // v has the data iff v's bits below the current level are zero.
+      if ((v & (2 * bit - 1)) == 0) {
+        const RankId u = v | bit;  // its partner this stage
+        phase.push_back({static_cast<RankId>((v + root) % ranks),
+                         static_cast<RankId>((u + root) % ranks), bytes});
+      }
+    }
+    stages.push_back(std::move(phase));
+  }
+  return stages;
+}
+
+/// Pairwise-exchange all-to-all: P-1 stages; at stage s, rank r exchanges
+/// its block with rank r XOR s.
+std::vector<simnet::Phase> alltoallPairwise(RankId ranks, std::int64_t bytes) {
+  requirePowerOfTwo(ranks, "pairwise all-to-all");
+  std::vector<simnet::Phase> stages;
+  for (RankId s = 1; s < ranks; ++s) {
+    simnet::Phase phase;
+    for (RankId r = 0; r < ranks; ++r) {
+      phase.push_back({r, r ^ s, bytes});
+    }
+    stages.push_back(std::move(phase));
+  }
+  return stages;
+}
+
+/// Binomial-tree reduce toward \p root: the broadcast tree run backwards.
+std::vector<simnet::Phase> reduceBinomial(RankId ranks, std::int64_t bytes,
+                                          RankId root) {
+  auto stages = broadcastBinomial(ranks, bytes, root);
+  std::reverse(stages.begin(), stages.end());
+  for (simnet::Phase& phase : stages) {
+    for (simnet::Message& m : phase) std::swap(m.src, m.dst);
+  }
+  return stages;
+}
+
+}  // namespace
+
+std::vector<simnet::Phase> expandCollective(CollectiveAlgorithm algorithm,
+                                            RankId ranks, std::int64_t bytes,
+                                            RankId root) {
+  RAHTM_REQUIRE(bytes >= 0, "expandCollective: negative payload");
+  RAHTM_REQUIRE(root >= 0 && root < ranks, "expandCollective: bad root");
+  switch (algorithm) {
+    case CollectiveAlgorithm::AllgatherRecursiveDoubling:
+      return allgatherRecursiveDoubling(ranks, bytes);
+    case CollectiveAlgorithm::AllgatherRing:
+      return allgatherRing(ranks, bytes);
+    case CollectiveAlgorithm::AllgatherDissemination:
+      return allgatherDissemination(ranks, bytes);
+    case CollectiveAlgorithm::AllreduceRabenseifner:
+      return allreduceRabenseifner(ranks, bytes);
+    case CollectiveAlgorithm::BroadcastBinomial:
+      return broadcastBinomial(ranks, bytes, root);
+    case CollectiveAlgorithm::AlltoallPairwise:
+      return alltoallPairwise(ranks, bytes);
+    case CollectiveAlgorithm::ReduceBinomial:
+      return reduceBinomial(ranks, bytes, root);
+  }
+  throw PreconditionError("expandCollective: unknown algorithm");
+}
+
+Workload makeCollectiveWorkload(CollectiveAlgorithm algorithm, RankId ranks,
+                                std::int64_t bytes, int iterations) {
+  Workload w;
+  w.name = toString(algorithm);
+  w.ranks = ranks;
+  w.iterations = iterations;
+  w.commFraction = 0.5;
+  w.logicalGrid = Shape{static_cast<std::int32_t>(ranks)};
+  w.phases = expandCollective(algorithm, ranks, bytes);
+  return w;
+}
+
+}  // namespace rahtm

@@ -1,0 +1,63 @@
+#pragma once
+/// \file collectives.hpp
+/// Collective-communication pattern expansion — the paper's §VI extension:
+/// "it is possible to use the communication patterns for known
+/// implementations of collective communication primitives to extend RAHTM
+/// beyond point-to-point communication."
+///
+/// Each expander turns one collective call over a rank group into the
+/// point-to-point phases its well-known implementation produces. RAHTM then
+/// consumes the aggregated graph exactly as it does for point-to-point
+/// traffic, and the simulator replays the stages with their real
+/// dependencies.
+///
+/// Implemented algorithms (the classics the paper alludes to):
+///  * allgather: recursive doubling  — log2(P) stages, doubling volumes
+///  * allgather: ring                — P-1 stages of neighbor shifts
+///  * allgather: dissemination (Bruck) — log2(P) stages at 2^k offsets
+///  * allreduce: recursive halving + doubling (Rabenseifner)
+///  * broadcast: binomial tree
+///  * all-to-all: pairwise exchange (XOR schedule, power-of-two groups)
+///  * reduce: binomial tree (leaves toward root)
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "simnet/message.hpp"
+#include "workloads/workload.hpp"
+
+namespace rahtm {
+
+/// Which implementation to expand a collective into.
+enum class CollectiveAlgorithm {
+  AllgatherRecursiveDoubling,
+  AllgatherRing,
+  AllgatherDissemination,
+  AllreduceRabenseifner,
+  BroadcastBinomial,
+  AlltoallPairwise,
+  ReduceBinomial,
+};
+
+const char* toString(CollectiveAlgorithm algorithm);
+
+/// Expand one collective over the ranks [0, ranks) into its point-to-point
+/// stages. \p bytes is the per-rank payload (the "count * datatype" of the
+/// MPI call); per-message volumes follow the algorithm (e.g. recursive
+/// doubling sends 2^k * bytes at stage k). \p root is used by rooted
+/// collectives (broadcast, reduce) and ignored otherwise.
+///
+/// Power-of-two rank counts are required by the power-of-two algorithms
+/// (recursive doubling/halving, pairwise XOR); ring supports any count.
+std::vector<simnet::Phase> expandCollective(CollectiveAlgorithm algorithm,
+                                            RankId ranks, std::int64_t bytes,
+                                            RankId root = 0);
+
+/// A full workload wrapping one collective (for mapping studies): name,
+/// phases and aggregated graph, like the NAS generators.
+Workload makeCollectiveWorkload(CollectiveAlgorithm algorithm, RankId ranks,
+                                std::int64_t bytes, int iterations = 4);
+
+}  // namespace rahtm

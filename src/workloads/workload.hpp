@@ -1,0 +1,77 @@
+#pragma once
+/// \file workload.hpp
+/// Synthetic benchmark workloads: the communication structure of the
+/// NAS benchmarks the paper evaluates (Table I: BT, SP, CG), plus extra
+/// patterns for testing. Each workload is a sequence of communication
+/// phases executed every iteration; RAHTM and the baselines consume only
+/// the aggregated communication graph, while the simulator replays the
+/// phase structure.
+
+#include <string>
+#include <vector>
+
+#include "common/small_vec.hpp"
+#include "graph/comm_graph.hpp"
+#include "simnet/message.hpp"
+
+namespace rahtm {
+
+struct Workload {
+  std::string name;
+  RankId ranks = 0;
+  /// Phases of one iteration, replayed `iterations` times per run.
+  std::vector<simnet::Phase> phases;
+  int iterations = 1;
+  /// Fraction of execution time spent communicating under the *baseline*
+  /// mapping, used to calibrate the constant compute phase (paper Fig. 9:
+  /// ~0.70 for CG, ~0.35 for BT and SP). See DESIGN.md §1.
+  double commFraction = 0.5;
+  /// Logical process-grid geometry (e.g. q x q for BT); the clustering pass
+  /// tiles this grid (§III-B).
+  Shape logicalGrid;
+
+  /// Aggregate per-iteration communication graph (mapper input).
+  CommGraph commGraph() const;
+
+  /// Total bytes sent per iteration.
+  double bytesPerIteration() const;
+};
+
+/// Parameters shared by the NAS-like generators. `messageBytes` scales
+/// every message (a stand-in for the class C/D problem-size selection).
+struct NasParams {
+  std::int64_t messageBytes = 4096;
+  int iterations = 4;
+};
+
+/// NPB BT (block tri-diagonal, multipartition): P = q*q ranks on a q x q
+/// logical grid; every iteration runs three sweep phases (x, y, z), each
+/// exchanging faces with the successor/predecessor in that sweep direction.
+/// The z sweep travels along the grid diagonal — the signature
+/// multipartition pattern.
+Workload makeBT(RankId ranks, const NasParams& params = {});
+
+/// NPB SP (scalar penta-diagonal): same multipartition structure as BT but
+/// with thinner face exchanges and more frequent iterations.
+Workload makeSP(RankId ranks, const NasParams& params = {});
+
+/// NPB CG (conjugate gradient): P = 2^k ranks on a nprows x npcols grid
+/// (npcols = 2^ceil(k/2)); every iteration exchanges with the transpose
+/// partner and performs log2(npcols) recursive-halving reduce exchanges
+/// across the row — long-distance power-of-two strides.
+Workload makeCG(RankId ranks, const NasParams& params = {});
+
+/// 3D halo exchange over a given rank grid (extra pattern for studies).
+Workload makeHalo3d(const Shape& grid, std::int64_t messageBytes,
+                    int iterations = 4);
+
+/// Random permutation traffic (extra pattern; worst case for locality).
+Workload makeRandomPairs(RankId ranks, std::int64_t messageBytes,
+                         std::uint64_t seed = 7, int iterations = 4);
+
+/// Look up a NAS workload by name ("BT", "SP", "CG"); throws ParseError on
+/// unknown names.
+Workload makeNasByName(const std::string& name, RankId ranks,
+                       const NasParams& params = {});
+
+}  // namespace rahtm

@@ -1,0 +1,82 @@
+// Tests for the recursive-bisection (Kernighan-Lin) baseline mapper.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/bisection_mapper.hpp"
+#include "graph/stats.hpp"
+#include "mapping/permutation.hpp"
+#include "routing/oblivious.hpp"
+#include "topology/presets.hpp"
+#include "workloads/workload.hpp"
+
+namespace rahtm {
+namespace {
+
+TEST(BisectionMapper, ProducesValidMappings) {
+  const Torus t = Torus::torus(Shape{4, 4, 2});
+  const Workload w = makeBT(64);
+  BisectionConfig cfg;
+  cfg.logicalGrid = w.logicalGrid;
+  RecursiveBisectionMapper mapper(cfg);
+  const Mapping m = mapper.map(w.commGraph(), t, 2);
+  EXPECT_TRUE(m.validate(t, 2).empty()) << m.validate(t, 2);
+}
+
+TEST(BisectionMapper, KeepsCommunityTogether) {
+  // Two dense 4-cliques with one weak bridge: the first bisection must cut
+  // the bridge, placing each clique in its own machine half.
+  const Torus t = Torus::torus(Shape{4, 2});
+  CommGraph g(8);
+  for (RankId a = 0; a < 4; ++a) {
+    for (RankId b = static_cast<RankId>(a + 1); b < 4; ++b) {
+      g.addExchange(a, b, 50);
+      g.addExchange(a + 4, b + 4, 50);
+    }
+  }
+  g.addExchange(0, 4, 1);  // weak bridge
+  RecursiveBisectionMapper mapper;
+  const Mapping m = mapper.map(g, t, 1);
+  // Cliques land in distinct halves of the long dimension.
+  std::set<int> halvesA, halvesB;
+  for (RankId r = 0; r < 4; ++r) {
+    halvesA.insert(t.coordOf(m.nodeOf(r))[0] / 2);
+    halvesB.insert(t.coordOf(m.nodeOf(static_cast<RankId>(r + 4)))[0] / 2);
+  }
+  EXPECT_EQ(halvesA.size(), 1u);
+  EXPECT_EQ(halvesB.size(), 1u);
+  EXPECT_NE(*halvesA.begin(), *halvesB.begin());
+}
+
+TEST(BisectionMapper, BeatsRandomOnHopBytes) {
+  const Torus t = Torus::torus(Shape{4, 4});
+  const Workload w = makeCG(32);
+  const CommGraph g = w.commGraph();
+  BisectionConfig cfg;
+  cfg.logicalGrid = w.logicalGrid;
+  RecursiveBisectionMapper rcb(cfg);
+  RandomMapper random(5);
+  EXPECT_LT(hopBytes(g, t, rcb.map(g, t, 2).nodeVector()),
+            hopBytes(g, t, random.map(g, t, 2).nodeVector()));
+}
+
+TEST(BisectionMapper, DeterministicPerSeed) {
+  const Torus t = Torus::torus(Shape{2, 2, 2});
+  const Workload w = makeCG(16);
+  BisectionConfig cfg;
+  cfg.logicalGrid = w.logicalGrid;
+  RecursiveBisectionMapper a(cfg), b(cfg);
+  const Mapping ma = a.map(w.commGraph(), t, 2);
+  const Mapping mb = b.map(w.commGraph(), t, 2);
+  for (RankId r = 0; r < 16; ++r) EXPECT_EQ(ma.nodeOf(r), mb.nodeOf(r));
+}
+
+TEST(BisectionMapper, RejectsNonPowerOfTwoMachine) {
+  const Torus t = Torus::torus(Shape{3, 2});
+  CommGraph g(6);
+  RecursiveBisectionMapper mapper;
+  EXPECT_THROW(mapper.map(g, t, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rahtm

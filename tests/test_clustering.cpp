@@ -1,0 +1,143 @@
+// Tests for phase 1 (tile-search clustering) and the machine hierarchy.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/clustering.hpp"
+#include "core/hierarchy.hpp"
+#include "topology/presets.hpp"
+#include "workloads/workload.hpp"
+
+namespace rahtm {
+namespace {
+
+/// A 4x4 grid graph with strong row-neighbor traffic: row tiles must win.
+CommGraph rowHeavyGrid() {
+  CommGraph g(16);
+  const Torus grid = Torus::mesh(Shape{4, 4});
+  for (NodeId n = 0; n < 16; ++n) {
+    const Coord c = grid.coordOf(n);
+    if (const auto e = grid.neighbor(c, 1, Dir::Plus)) {  // row direction
+      g.addExchange(static_cast<RankId>(n),
+                    static_cast<RankId>(grid.nodeId(*e)), 100);
+    }
+    if (const auto s = grid.neighbor(c, 0, Dir::Plus)) {  // column direction
+      g.addExchange(static_cast<RankId>(n),
+                    static_cast<RankId>(grid.nodeId(*s)), 1);
+    }
+  }
+  return g;
+}
+
+TEST(Tiling, AppliesShapeAndContracts) {
+  const CommGraph g = rowHeavyGrid();
+  const TilingResult r = applyTiling(g, Shape{4, 4}, Shape{2, 2});
+  EXPECT_EQ(r.coarseGrid, (Shape{2, 2}));
+  EXPECT_EQ(r.coarseGraph.numRanks(), 4);
+  EXPECT_EQ(r.clusterOf.size(), 16u);
+  // Total volume is conserved between intra and inter.
+  EXPECT_DOUBLE_EQ(r.intraVolume + r.interVolume, g.totalVolume());
+}
+
+TEST(Tiling, SearchPrefersCommunicationAlignedTiles) {
+  // Row-heavy traffic: 1x4 tiles absorb the 100-weight edges; 4x1 would
+  // leave them all inter-tile.
+  const CommGraph g = rowHeavyGrid();
+  const TilingResult best = bestTiling(g, Shape{4, 4}, 4);
+  EXPECT_EQ(best.tileShape, (Shape{1, 4}));
+  const TilingResult bad = applyTiling(g, Shape{4, 4}, Shape{4, 1});
+  EXPECT_LT(best.interVolume, bad.interVolume);
+}
+
+TEST(Tiling, FirstTilingIgnoresTraffic) {
+  const CommGraph g = rowHeavyGrid();
+  const TilingResult f = firstTiling(g, Shape{4, 4}, 4);
+  // Lexicographically first factorization: 1x4 — for this grid it happens
+  // to coincide with the best; use tile 2 to see a difference.
+  EXPECT_EQ(f.tileShape, (Shape{1, 4}));
+  const TilingResult f2 = firstTiling(g, Shape{4, 4}, 2);
+  EXPECT_EQ(f2.tileShape, (Shape{1, 2}));
+}
+
+TEST(Tiling, ErrorsOnImpossibleTiles) {
+  const CommGraph g = rowHeavyGrid();
+  EXPECT_THROW(bestTiling(g, Shape{4, 4}, 5), PreconditionError);
+  EXPECT_THROW(applyTiling(g, Shape{4, 4}, Shape{3, 1}), PreconditionError);
+  EXPECT_THROW(applyTiling(g, Shape{2, 2}, Shape{2, 2}), PreconditionError);
+}
+
+TEST(ClusterTreeTest, BuildsFullHierarchy) {
+  const Workload w = makeBT(64);  // 8x8 grid
+  const CommGraph g = w.commGraph();
+  // Machine: 4x4x2 = 32 nodes, concentration 2.
+  const MachineHierarchy h(Torus::torus(Shape{4, 4, 2}));
+  const ClusterTree tree =
+      buildClusterTree(g, w.logicalGrid, 2, h.childCountsDeepestFirst());
+  EXPECT_EQ(tree.concentration.coarseGraph.numRanks(), 32);
+  ASSERT_EQ(tree.levels.size(), 2u);
+  // Deepest-first: 4-child level (2x2x1 blocks) then 8-child root.
+  EXPECT_EQ(tree.levels[0].coarseGraph.numRanks(), 8);
+  EXPECT_EQ(tree.levels[1].coarseGraph.numRanks(), 1);
+}
+
+TEST(ClusterTreeTest, RejectsMismatchedCounts) {
+  const Workload w = makeBT(64);
+  EXPECT_THROW(buildClusterTree(w.commGraph(), w.logicalGrid, 2, {4, 4}),
+               PreconditionError);
+}
+
+// ---- Machine hierarchy -------------------------------------------------------
+
+TEST(Hierarchy, RecursiveHalving) {
+  const MachineHierarchy h(bgqPartition128());  // 4x4x4x2
+  EXPECT_EQ(h.depth(), 2);
+  EXPECT_EQ(h.blockShape(0), (Shape{4, 4, 4, 2}));
+  EXPECT_EQ(h.blockShape(1), (Shape{2, 2, 2, 1}));
+  EXPECT_EQ(h.blockShape(2), (Shape{1, 1, 1, 1}));
+  EXPECT_EQ(h.childGrid(0), (Shape{2, 2, 2, 2}));
+  EXPECT_EQ(h.childGrid(1), (Shape{2, 2, 2, 1}));
+  EXPECT_EQ(h.childCount(0), 16);
+  EXPECT_EQ(h.childCount(1), 8);
+  EXPECT_EQ(h.childCountsDeepestFirst(), (std::vector<std::int64_t>{8, 16}));
+}
+
+TEST(Hierarchy, Bgq512HasTwoLevels) {
+  const MachineHierarchy h(bgqPartition512());  // 4x4x4x4x2
+  EXPECT_EQ(h.depth(), 2);
+  EXPECT_EQ(h.childCount(0), 32);  // 2-ary 5-cube
+  EXPECT_EQ(h.childCount(1), 16);  // 2-ary 4-cube
+}
+
+TEST(Hierarchy, RootClusterTopologyKeepsWrap) {
+  const MachineHierarchy h(bgqPartition128());
+  const Torus root = h.clusterTopology(0);
+  EXPECT_EQ(root.shape(), (Shape{2, 2, 2, 2}));
+  // All machine dims wrap, so the root 2-ary cube is a torus (double-wide).
+  for (std::size_t d = 0; d < root.ndims(); ++d) EXPECT_TRUE(root.wraps(d));
+  // Deeper levels are meshes.
+  const Torus l1 = h.clusterTopology(1);
+  for (std::size_t d = 0; d < l1.ndims(); ++d) EXPECT_FALSE(l1.wraps(d));
+}
+
+TEST(Hierarchy, MeshMachineRootIsMesh) {
+  const MachineHierarchy h(Torus::mesh(Shape{4, 4}));
+  const Torus root = h.clusterTopology(0);
+  EXPECT_FALSE(root.wraps(0));
+  EXPECT_FALSE(root.wraps(1));
+}
+
+TEST(Hierarchy, ChildBlockCoordinates) {
+  const MachineHierarchy h(bgqPartition128());
+  const SubcubeView child =
+      h.childBlock(0, Coord{0, 0, 0, 0}, Coord{1, 0, 1, 1});
+  EXPECT_EQ(child.origin(), (Coord{2, 0, 2, 1}));
+  EXPECT_EQ(child.extent(), (Shape{2, 2, 2, 1}));
+}
+
+TEST(Hierarchy, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(MachineHierarchy(Torus::torus(Shape{3, 4})), PreconditionError);
+  EXPECT_THROW(MachineHierarchy(Torus::torus(Shape{1})), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rahtm

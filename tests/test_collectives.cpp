@@ -1,0 +1,181 @@
+// Tests for the collective-communication pattern expanders (§VI extension).
+// Correctness criteria are information-flow based: after replaying the
+// stages, every rank must hold what the collective promises.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "workloads/collectives.hpp"
+
+namespace rahtm {
+namespace {
+
+using simnet::Message;
+using simnet::Phase;
+
+/// Replay stages over per-rank block sets: a message copies the sender's
+/// current block set to the receiver (the union model of allgather-style
+/// data movement).
+std::vector<std::set<RankId>> replayUnion(const std::vector<Phase>& stages,
+                                          RankId ranks) {
+  std::vector<std::set<RankId>> holds(static_cast<std::size_t>(ranks));
+  for (RankId r = 0; r < ranks; ++r) {
+    holds[static_cast<std::size_t>(r)].insert(r);
+  }
+  for (const Phase& stage : stages) {
+    const auto snapshot = holds;  // intra-stage sends use pre-stage data
+    for (const Message& m : stage) {
+      const auto& src = snapshot[static_cast<std::size_t>(m.src)];
+      holds[static_cast<std::size_t>(m.dst)].insert(src.begin(), src.end());
+    }
+  }
+  return holds;
+}
+
+double totalBytes(const std::vector<Phase>& stages) {
+  double total = 0;
+  for (const Phase& s : stages) {
+    for (const Message& m : s) total += static_cast<double>(m.bytes);
+  }
+  return total;
+}
+
+TEST(Allgather, RecursiveDoublingCompletes) {
+  const RankId P = 16;
+  const auto stages = expandCollective(
+      CollectiveAlgorithm::AllgatherRecursiveDoubling, P, 100);
+  EXPECT_EQ(stages.size(), 4u);  // log2(16)
+  const auto holds = replayUnion(stages, P);
+  for (const auto& h : holds) EXPECT_EQ(h.size(), static_cast<std::size_t>(P));
+  // Volume: each rank sends 1+2+4+8 = 15 blocks of 100 bytes.
+  EXPECT_DOUBLE_EQ(totalBytes(stages), 16.0 * 15 * 100);
+}
+
+TEST(Allgather, RingCompletes) {
+  const RankId P = 6;  // non power of two is fine for the ring
+  const auto stages =
+      expandCollective(CollectiveAlgorithm::AllgatherRing, P, 10);
+  EXPECT_EQ(stages.size(), 5u);  // P - 1
+  const auto holds = replayUnion(stages, P);
+  for (const auto& h : holds) EXPECT_EQ(h.size(), static_cast<std::size_t>(P));
+}
+
+TEST(Allgather, DisseminationCompletes) {
+  for (const RankId P : {8, 12, 16}) {
+    const auto stages =
+        expandCollective(CollectiveAlgorithm::AllgatherDissemination, P, 10);
+    const auto holds = replayUnion(stages, P);
+    for (const auto& h : holds) {
+      EXPECT_EQ(h.size(), static_cast<std::size_t>(P)) << "P=" << P;
+    }
+  }
+}
+
+TEST(Allgather, RecursiveDoublingRejectsNonPowerOfTwo) {
+  EXPECT_THROW(expandCollective(
+                   CollectiveAlgorithm::AllgatherRecursiveDoubling, 12, 10),
+               PreconditionError);
+}
+
+TEST(Allreduce, RabenseifnerSymmetricAndBalanced) {
+  const RankId P = 8;
+  const std::int64_t bytes = 800;
+  const auto stages =
+      expandCollective(CollectiveAlgorithm::AllreduceRabenseifner, P, bytes);
+  EXPECT_EQ(stages.size(), 6u);  // log2(8) halving + log2(8) doubling
+  // Every stage is a pairwise exchange: if a sends to b, b sends to a.
+  for (const Phase& s : stages) {
+    std::set<std::pair<RankId, RankId>> pairs;
+    for (const Message& m : s) pairs.insert({m.src, m.dst});
+    for (const auto& [a, b] : pairs) EXPECT_TRUE(pairs.count({b, a}));
+  }
+  // Rabenseifner total: 2 * (P-1)/P * bytes per rank.
+  EXPECT_DOUBLE_EQ(totalBytes(stages), 2.0 * 7 / 8 * bytes * P);
+}
+
+TEST(Broadcast, BinomialReachesEveryRank) {
+  for (const RankId root : {0, 3, 7}) {
+    const RankId P = 8;
+    const auto stages = expandCollective(
+        CollectiveAlgorithm::BroadcastBinomial, P, 10, root);
+    EXPECT_EQ(stages.size(), 3u);
+    // Replay reachability of the root's block.
+    std::set<RankId> informed{root};
+    for (const Phase& s : stages) {
+      const auto snapshot = informed;
+      for (const Message& m : s) {
+        // Binomial senders must already be informed.
+        EXPECT_TRUE(snapshot.count(m.src)) << "root=" << root;
+        informed.insert(m.dst);
+      }
+    }
+    EXPECT_EQ(informed.size(), static_cast<std::size_t>(P));
+    // Exactly P-1 messages in total.
+    std::size_t msgs = 0;
+    for (const Phase& s : stages) msgs += s.size();
+    EXPECT_EQ(msgs, static_cast<std::size_t>(P - 1));
+  }
+}
+
+TEST(Reduce, BinomialIsBroadcastReversed) {
+  const RankId P = 8, root = 2;
+  const auto bcast =
+      expandCollective(CollectiveAlgorithm::BroadcastBinomial, P, 10, root);
+  const auto reduce =
+      expandCollective(CollectiveAlgorithm::ReduceBinomial, P, 10, root);
+  ASSERT_EQ(bcast.size(), reduce.size());
+  // Last reduce stage messages converge on the root.
+  for (const Message& m : reduce.back()) EXPECT_EQ(m.dst, root);
+  // Message multiset matches the broadcast with src/dst swapped.
+  std::multiset<std::pair<RankId, RankId>> fwd, bwd;
+  for (const auto& s : bcast) {
+    for (const Message& m : s) fwd.insert({m.src, m.dst});
+  }
+  for (const auto& s : reduce) {
+    for (const Message& m : s) bwd.insert({m.dst, m.src});
+  }
+  EXPECT_EQ(fwd, bwd);
+}
+
+TEST(Alltoall, PairwiseCoversEveryPairOnce) {
+  const RankId P = 8;
+  const auto stages =
+      expandCollective(CollectiveAlgorithm::AlltoallPairwise, P, 10);
+  EXPECT_EQ(stages.size(), 7u);  // P - 1
+  std::set<std::pair<RankId, RankId>> seen;
+  for (const Phase& s : stages) {
+    for (const Message& m : s) {
+      EXPECT_TRUE(seen.insert({m.src, m.dst}).second)
+          << m.src << "->" << m.dst << " sent twice";
+      EXPECT_NE(m.src, m.dst);
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(P) * (P - 1));
+}
+
+TEST(CollectiveWorkload, WrapsIntoWorkload) {
+  const Workload w = makeCollectiveWorkload(
+      CollectiveAlgorithm::AllreduceRabenseifner, 16, 1024);
+  EXPECT_EQ(w.name, "allreduce-rabenseifner");
+  EXPECT_EQ(w.ranks, 16);
+  EXPECT_EQ(w.phases.size(), 8u);
+  EXPECT_GT(w.commGraph().numFlows(), 0u);
+}
+
+TEST(CollectiveWorkload, BadInputsThrow) {
+  EXPECT_THROW(
+      expandCollective(CollectiveAlgorithm::BroadcastBinomial, 8, 10, 9),
+      PreconditionError);
+  EXPECT_THROW(
+      expandCollective(CollectiveAlgorithm::AlltoallPairwise, 8, -1),
+      PreconditionError);
+  EXPECT_THROW(expandCollective(CollectiveAlgorithm::AllgatherRing, 1, 10),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace rahtm

@@ -1,0 +1,163 @@
+// Tests for the communication graph: coalescing, contraction, statistics,
+// serialization round-trips and malformed-input handling.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "graph/comm_graph.hpp"
+#include "graph/stats.hpp"
+#include "topology/torus.hpp"
+
+namespace rahtm {
+namespace {
+
+TEST(CommGraph, CoalescesParallelFlows) {
+  CommGraph g(4);
+  g.addFlow(0, 1, 10);
+  g.addFlow(0, 1, 5);
+  g.addFlow(1, 0, 3);
+  EXPECT_EQ(g.numFlows(), 2u);
+  EXPECT_DOUBLE_EQ(g.volume(0, 1), 15);
+  EXPECT_DOUBLE_EQ(g.volume(1, 0), 3);
+  EXPECT_DOUBLE_EQ(g.volume(2, 3), 0);
+  EXPECT_DOUBLE_EQ(g.totalVolume(), 18);
+}
+
+TEST(CommGraph, DropsSelfFlowsAndZeroVolume) {
+  CommGraph g(2);
+  g.addFlow(1, 1, 100);
+  g.addFlow(0, 1, 0);
+  EXPECT_EQ(g.numFlows(), 0u);
+}
+
+TEST(CommGraph, GrowsRankSpace) {
+  CommGraph g;
+  g.addFlow(3, 7, 1);
+  EXPECT_EQ(g.numRanks(), 8);
+}
+
+TEST(CommGraph, ExchangeAddsBothDirections) {
+  CommGraph g(2);
+  g.addExchange(0, 1, 4);
+  EXPECT_DOUBLE_EQ(g.volume(0, 1), 4);
+  EXPECT_DOUBLE_EQ(g.volume(1, 0), 4);
+}
+
+TEST(CommGraph, MaxDegreeCountsDistinctPeers) {
+  CommGraph g(5);
+  g.addFlow(0, 1, 1);
+  g.addFlow(0, 2, 1);
+  g.addFlow(3, 0, 1);
+  g.addFlow(1, 2, 1);
+  EXPECT_EQ(g.maxDegree(), 3);  // rank 0 talks with {1,2,3}
+}
+
+TEST(CommGraph, UndirectedMergesPairs) {
+  CommGraph g(3);
+  g.addFlow(0, 1, 2);
+  g.addFlow(1, 0, 3);
+  g.addFlow(2, 1, 7);
+  const auto und = g.undirectedFlows();
+  ASSERT_EQ(und.size(), 2u);
+  EXPECT_DOUBLE_EQ(und[0].bytes, 5);
+  EXPECT_DOUBLE_EQ(und[1].bytes, 7);
+  EXPECT_LT(und[0].src, und[0].dst);
+}
+
+TEST(CommGraph, RelabelPreservesVolumes) {
+  CommGraph g(3);
+  g.addFlow(0, 1, 5);
+  g.addFlow(1, 2, 7);
+  const CommGraph r = g.relabeled({2, 0, 1});
+  EXPECT_DOUBLE_EQ(r.volume(2, 0), 5);
+  EXPECT_DOUBLE_EQ(r.volume(0, 1), 7);
+  EXPECT_THROW(g.relabeled({0, 0, 1}), PreconditionError);
+  EXPECT_THROW(g.relabeled({0, 1}), PreconditionError);
+}
+
+TEST(Contraction, SplitsIntraAndInterVolume) {
+  CommGraph g(4);
+  g.addFlow(0, 1, 10);  // same cluster
+  g.addFlow(0, 2, 4);   // cross
+  g.addFlow(3, 1, 6);   // cross
+  const auto r = contract(g, {0, 0, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(r.intraClusterVolume, 10);
+  EXPECT_DOUBLE_EQ(r.interClusterVolume, 10);
+  EXPECT_DOUBLE_EQ(r.clusterGraph.volume(0, 1), 4);
+  EXPECT_DOUBLE_EQ(r.clusterGraph.volume(1, 0), 6);
+  EXPECT_EQ(r.clusterGraph.numRanks(), 2);
+}
+
+TEST(Contraction, RejectsBadAssignments) {
+  CommGraph g(2);
+  g.addFlow(0, 1, 1);
+  EXPECT_THROW(contract(g, {0}, 1), PreconditionError);
+  EXPECT_THROW(contract(g, {0, 5}, 2), PreconditionError);
+}
+
+TEST(GraphIo, RoundTrips) {
+  CommGraph g(6);
+  g.addFlow(0, 5, 12.5);
+  g.addFlow(2, 3, 1);
+  std::stringstream ss;
+  writeCommGraph(ss, g);
+  const CommGraph back = readCommGraph(ss);
+  EXPECT_TRUE(back == g);
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  {
+    std::stringstream ss("nonsense 4\n");
+    EXPECT_THROW(readCommGraph(ss), ParseError);
+  }
+  {
+    std::stringstream ss("ranks 4\n0 1\n");
+    EXPECT_THROW(readCommGraph(ss), ParseError);
+  }
+  {
+    std::stringstream ss("");
+    EXPECT_THROW(readCommGraph(ss), ParseError);
+  }
+  {
+    // Comments and blank lines are fine.
+    std::stringstream ss("# header\nranks 2\n\n0 1 3.5\n");
+    const CommGraph g = readCommGraph(ss);
+    EXPECT_DOUBLE_EQ(g.volume(0, 1), 3.5);
+  }
+}
+
+TEST(Stats, HopBytesUsesMinimalDistances) {
+  const Torus t = Torus::torus(Shape{4});
+  CommGraph g(4);
+  g.addFlow(0, 1, 10);  // distance 1
+  g.addFlow(0, 3, 5);   // distance 1 via wraparound
+  g.addFlow(0, 2, 2);   // distance 2
+  const std::vector<NodeId> ident{0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(hopBytes(g, t, ident), 10 + 5 + 4);
+  EXPECT_DOUBLE_EQ(avgWeightedHops(g, t, ident), 19.0 / 17.0);
+}
+
+TEST(Stats, ComputeStatsSummary) {
+  CommGraph g(4);
+  g.addFlow(0, 1, 6);
+  g.addFlow(1, 2, 2);
+  const GraphStats s = computeStats(g);
+  EXPECT_EQ(s.ranks, 4);
+  EXPECT_EQ(s.flows, 2u);
+  EXPECT_DOUBLE_EQ(s.totalVolume, 8);
+  EXPECT_DOUBLE_EQ(s.avgVolumePerFlow, 4);
+  EXPECT_EQ(s.maxDegree, 2);
+}
+
+TEST(Stats, HopBytesRejectsUnmappedRank) {
+  const Torus t = Torus::torus(Shape{4});
+  CommGraph g(2);
+  g.addFlow(0, 1, 1);
+  EXPECT_THROW(hopBytes(g, t, {0}), PreconditionError);
+  EXPECT_THROW(hopBytes(g, t, {0, kInvalidNode}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rahtm

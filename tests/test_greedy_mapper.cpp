@@ -1,0 +1,77 @@
+// Tests for the routing-unaware greedy hop-bytes baseline mapper.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/greedy_mapper.hpp"
+#include "graph/stats.hpp"
+#include "mapping/permutation.hpp"
+#include "routing/oblivious.hpp"
+#include "topology/presets.hpp"
+#include "workloads/workload.hpp"
+
+namespace rahtm {
+namespace {
+
+TEST(GreedyMapper, ProducesValidMappings) {
+  const Torus t = Torus::torus(Shape{4, 4, 2});
+  const Workload w = makeBT(64);
+  GreedyHopBytesMapper mapper(w.logicalGrid);
+  const Mapping m = mapper.map(w.commGraph(), t, 2);
+  EXPECT_TRUE(m.validate(t, 2).empty()) << m.validate(t, 2);
+}
+
+TEST(GreedyMapper, PlacesHeavyPairAdjacent) {
+  // Two clusters exchanging heavily end up at distance 1 — the defining
+  // (and under MAR, counterproductive) behaviour of hop-bytes greed.
+  const Torus t = Torus::mesh(Shape{2, 2});
+  CommGraph g(4);
+  g.addExchange(0, 1, 100);
+  g.addExchange(2, 3, 1);
+  GreedyHopBytesMapper mapper;
+  const Mapping m = mapper.map(g, t, 1);
+  EXPECT_EQ(t.distance(m.nodeOf(0), m.nodeOf(1)), 1);
+}
+
+TEST(GreedyMapper, BeatsRandomOnHopBytes) {
+  const Torus t = Torus::torus(Shape{4, 4});
+  const Workload w = makeCG(32);
+  const CommGraph g = w.commGraph();
+  GreedyHopBytesMapper greedy(w.logicalGrid);
+  RandomMapper random(11);
+  const double hbGreedy = hopBytes(g, t, greedy.map(g, t, 2).nodeVector());
+  const double hbRandom = hopBytes(g, t, random.map(g, t, 2).nodeVector());
+  EXPECT_LT(hbGreedy, hbRandom);
+}
+
+TEST(GreedyMapper, ConcentrationClusteringAbsorbsPairs) {
+  // Heavy consecutive pairs must land on the same node (the shared
+  // tile-search clustering at work).
+  const Torus t = Torus::torus(Shape{2, 2, 2});
+  CommGraph g(16);
+  for (RankId r = 0; r < 16; r += 2) g.addExchange(r, r + 1, 500);
+  for (RankId r = 0; r + 2 < 16; ++r) g.addExchange(r, r + 2, 1);
+  GreedyHopBytesMapper mapper(Shape{1, 16});
+  const Mapping m = mapper.map(g, t, 2);
+  for (RankId r = 0; r < 16; r += 2) {
+    EXPECT_EQ(m.nodeOf(r), m.nodeOf(r + 1)) << r;
+  }
+}
+
+TEST(GreedyMapper, HandlesEmptyGraph) {
+  const Torus t = Torus::torus(Shape{2, 2});
+  const CommGraph g(8);
+  GreedyHopBytesMapper mapper;
+  const Mapping m = mapper.map(g, t, 2);
+  EXPECT_TRUE(m.validate(t, 2).empty());
+}
+
+TEST(GreedyMapper, RejectsMismatchedRanks) {
+  const Torus t = Torus::torus(Shape{2, 2});
+  CommGraph g(7);
+  GreedyHopBytesMapper mapper;
+  EXPECT_THROW(mapper.map(g, t, 2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rahtm

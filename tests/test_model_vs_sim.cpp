@@ -1,0 +1,147 @@
+// Cross-validation between the analytical channel-load model (the paper's
+// MAR approximation) and the cycle-level simulator, plus symmetry
+// properties of the oblivious model.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "mapping/permutation.hpp"
+#include "profile/profile.hpp"
+#include "routing/oblivious.hpp"
+#include "simnet/simulator.hpp"
+#include "topology/presets.hpp"
+#include "workloads/workload.hpp"
+
+namespace rahtm {
+namespace {
+
+TEST(ModelVsSim, UniformMinimalTrafficMatchesAnalyticalLoads) {
+  // Route a random traffic pattern with the simulator's UniformMinimal mode
+  // (per-packet sampling of minimal paths) and compare the per-channel flit
+  // counts against the closed-form expected loads. With many packets the
+  // law of large numbers should bring them within a few percent.
+  const Torus t = Torus::torus(Shape{4, 4});
+  Mapping m(16);
+  for (RankId r = 0; r < 16; ++r) m.assign(r, r, 0);
+
+  Rng rng(4242);
+  simnet::Phase phase;
+  CommGraph g(16);
+  for (int i = 0; i < 24; ++i) {
+    const auto a = static_cast<RankId>(rng.nextBounded(16));
+    const auto b = static_cast<RankId>(rng.nextBounded(16));
+    if (a == b) continue;
+    // Many 1-flit packets so each samples a path independently.
+    const std::int64_t bytes = 512;
+    phase.push_back({a, b, bytes});
+    g.addFlow(a, b, static_cast<double>(bytes));
+  }
+  simnet::SimConfig cfg;
+  cfg.bytesPerFlit = 1;
+  cfg.packetFlits = 1;  // one flit per packet: pure path sampling
+  cfg.routing = simnet::RoutingMode::UniformMinimal;
+  cfg.injectionBandwidth = 8;
+  const auto res = simulatePhase(t, m, phase, cfg);
+
+  std::vector<NodeId> ident(16);
+  std::iota(ident.begin(), ident.end(), 0);
+  const ChannelLoadMap model = placementLoads(t, g, ident);
+
+  // Totals must match exactly (flit-hop conservation).
+  EXPECT_NEAR(static_cast<double>(res.flitHops), model.totalLoad(), 1e-6);
+  // The busiest channel should agree within sampling noise.
+  EXPECT_NEAR(res.maxChannelFlits, model.maxLoad(),
+              0.15 * model.maxLoad() + 8);
+}
+
+TEST(ModelVsSim, AdaptiveNeverCarriesMoreTotalTraffic) {
+  // Minimal routing of any flavour moves exactly volume*distance flit-hops.
+  const Torus t = bgqPartition128();
+  const Workload w = makeBT(256);
+  DefaultMapper def;
+  const Mapping m = def.map(w.commGraph(), t, 2);
+  simnet::SimConfig adaptive;
+  simnet::SimConfig dor;
+  dor.routing = simnet::RoutingMode::DimensionOrder;
+  const auto ra = simulatePhase(t, m, w.phases[0], adaptive);
+  const auto rd = simulatePhase(t, m, w.phases[0], dor);
+  EXPECT_EQ(ra.flitHops, rd.flitHops);  // identical minimal distances
+}
+
+TEST(ObliviousSymmetry, LoadsAreTranslationInvariantOnTori) {
+  // Shifting source and destination by the same offset permutes channel
+  // loads without changing their multiset - check max and total.
+  const Torus t = Torus::torus(Shape{4, 4, 2});
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = static_cast<NodeId>(rng.nextBounded(
+        static_cast<std::uint64_t>(t.numNodes())));
+    const auto b = static_cast<NodeId>(rng.nextBounded(
+        static_cast<std::uint64_t>(t.numNodes())));
+    Coord shift(t.ndims(), 0);
+    for (std::size_t d = 0; d < t.ndims(); ++d) {
+      shift[d] = static_cast<std::int32_t>(rng.nextBounded(
+          static_cast<std::uint64_t>(t.extent(d))));
+    }
+    const auto shifted = [&](NodeId n) {
+      Coord c = t.coordOf(n);
+      for (std::size_t d = 0; d < t.ndims(); ++d) {
+        c[d] = (c[d] + shift[d]) % t.extent(d);
+      }
+      return t.nodeId(c);
+    };
+    ChannelLoadMap la(t), lb(t);
+    accumulateUniformMinimal(t, t.coordOf(a), t.coordOf(b), 77, la);
+    accumulateUniformMinimal(t, t.coordOf(shifted(a)), t.coordOf(shifted(b)),
+                             77, lb);
+    EXPECT_NEAR(la.maxLoad(), lb.maxLoad(), 1e-9);
+    EXPECT_NEAR(la.totalLoad(), lb.totalLoad(), 1e-9);
+  }
+}
+
+TEST(ObliviousSymmetry, ReverseFlowMirrorsLoads) {
+  // load(s->d) on channel (u,dim,+) equals load(d->s) on the mirrored
+  // channel; max and total are equal.
+  const Torus t = Torus::torus(Shape{4, 4});
+  ChannelLoadMap fwd(t), bwd(t);
+  accumulateUniformMinimal(t, Coord{0, 1}, Coord{2, 3}, 50, fwd);
+  accumulateUniformMinimal(t, Coord{2, 3}, Coord{0, 1}, 50, bwd);
+  EXPECT_NEAR(fwd.maxLoad(), bwd.maxLoad(), 1e-9);
+  EXPECT_NEAR(fwd.totalLoad(), bwd.totalLoad(), 1e-9);
+}
+
+TEST(ModelVsSim, LowerMclDrainsFasterWhenBandwidthBound) {
+  // Saturate the network (large messages, fast injection): the mapping
+  // with the lower model MCL must drain faster - the core premise linking
+  // RAHTM's objective to performance.
+  const Torus t = Torus::mesh(Shape{2, 2});
+  CommGraph g(4);
+  g.addExchange(0, 1, 100);
+  simnet::Phase phase;
+  for (const Flow& f : g.flows()) {
+    phase.push_back({f.src, f.dst, static_cast<std::int64_t>(f.bytes) * 64});
+  }
+  Mapping adjacent(4), diagonal(4);
+  adjacent.assign(0, t.nodeId(Coord{0, 0}), 0);
+  adjacent.assign(1, t.nodeId(Coord{0, 1}), 0);
+  adjacent.assign(2, t.nodeId(Coord{1, 0}), 0);
+  adjacent.assign(3, t.nodeId(Coord{1, 1}), 0);
+  diagonal.assign(0, t.nodeId(Coord{0, 0}), 0);
+  diagonal.assign(1, t.nodeId(Coord{1, 1}), 0);
+  diagonal.assign(2, t.nodeId(Coord{0, 1}), 0);
+  diagonal.assign(3, t.nodeId(Coord{1, 0}), 0);
+  simnet::SimConfig cfg;
+  cfg.bytesPerFlit = 8;
+  cfg.injectionBandwidth = 8;
+  const auto ra = simulatePhase(t, adjacent, phase, cfg);
+  const auto rd = simulatePhase(t, diagonal, phase, cfg);
+  const double mclA = placementMcl(t, g, adjacent.nodeVector());
+  const double mclD = placementMcl(t, g, diagonal.nodeVector());
+  ASSERT_LT(mclD, mclA);
+  EXPECT_LT(rd.cycles, ra.cycles);
+}
+
+}  // namespace
+}  // namespace rahtm

@@ -1,0 +1,82 @@
+// Parameterized integration sweep: the full RAHTM pipeline must produce
+// valid mappings that never lose to the ABCDET baseline (on the model
+// metric) across a matrix of machines, concentrations and benchmarks.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/rahtm.hpp"
+#include "mapping/permutation.hpp"
+#include "routing/oblivious.hpp"
+#include "topology/presets.hpp"
+#include "workloads/workload.hpp"
+
+namespace rahtm {
+namespace {
+
+struct MatrixCase {
+  const char* benchmark;
+  Shape machineShape;
+  int concentration;
+};
+
+void PrintTo(const MatrixCase& c, std::ostream* os) {
+  *os << c.benchmark << "@";
+  for (std::size_t d = 0; d < c.machineShape.size(); ++d) {
+    *os << (d ? "x" : "") << c.machineShape[d];
+  }
+  *os << "c" << c.concentration;
+}
+
+class PipelineMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(PipelineMatrix, ValidAndNeverWorseThanDefault) {
+  const MatrixCase& c = GetParam();
+  const Torus machine = Torus::torus(c.machineShape);
+  const auto ranks =
+      static_cast<RankId>(machine.numNodes() * c.concentration);
+  const Workload w = makeNasByName(c.benchmark, ranks);
+  const CommGraph g = w.commGraph();
+
+  RahtmConfig cfg;
+  cfg.subproblem.milpMaxVerts = 0;  // keep the sweep fast
+  cfg.subproblem.annealRestarts = 2;
+  cfg.subproblem.annealIters = 3000;
+  cfg.merge.beamWidth = 8;
+  RahtmMapper mapper(cfg);
+  const Mapping m = mapper.mapWorkload(w, machine, c.concentration);
+  ASSERT_TRUE(m.validate(machine, c.concentration).empty())
+      << m.validate(machine, c.concentration);
+
+  DefaultMapper def;
+  const Mapping base = def.map(g, machine, c.concentration);
+  const double mclRahtm = placementMcl(machine, g, m.nodeVector());
+  const double mclBase = placementMcl(machine, g, base.nodeVector());
+  // The canonical-seed portfolio makes this a hard guarantee up to the
+  // refinement's deterministic tie handling.
+  EXPECT_LE(mclRahtm, mclBase * 1.001 + 1e-9);
+
+  // Stats sanity on every configuration.
+  const RahtmStats& s = mapper.stats();
+  EXPECT_GT(s.subproblemsSolved, 0);
+  EXPECT_DOUBLE_EQ(s.intraNodeVolume + s.interNodeVolume, g.totalVolume());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PipelineMatrix,
+    ::testing::Values(
+        // BT/SP need square rank counts; CG needs powers of two.
+        MatrixCase{"BT", Shape{2, 2, 2, 2}, 4},   //  64 = 8^2
+        MatrixCase{"BT", Shape{4, 4}, 4},         //  64
+        MatrixCase{"BT", Shape{2, 2, 2, 2, 2}, 2},//  64
+        MatrixCase{"SP", Shape{4, 2, 2}, 4},      //  64
+        MatrixCase{"SP", Shape{4, 4}, 16},        // 256 = 16^2
+        MatrixCase{"CG", Shape{4, 4}, 2},         //  32
+        MatrixCase{"CG", Shape{2, 2, 2, 2}, 8},   // 128
+        MatrixCase{"CG", Shape{4, 4, 2}, 2},      //  64
+        MatrixCase{"CG", Shape{4, 4, 4, 2}, 1},   // 128, concentration 1
+        MatrixCase{"CG", Shape{8, 4}, 4}));       // 128, mixed arity
+
+}  // namespace
+}  // namespace rahtm

@@ -1,0 +1,198 @@
+// Integration tests for the full RAHTM pipeline: validity of produced
+// mappings, MCL quality against baselines, concentration clustering
+// behaviour, ablation switches, and end-to-end consistency with the
+// simulator.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/rahtm.hpp"
+#include "graph/stats.hpp"
+#include "mapping/permutation.hpp"
+#include "profile/profile.hpp"
+#include "routing/oblivious.hpp"
+#include "topology/presets.hpp"
+#include "workloads/workload.hpp"
+
+namespace rahtm {
+namespace {
+
+RahtmConfig fastConfig() {
+  RahtmConfig cfg;
+  // Exhaustive leaf solves (exact under the oblivious metric) keep the test
+  // suite fast; dedicated MILP coverage lives in test_milp_mapper.
+  cfg.subproblem.milpMaxVerts = 0;
+  cfg.subproblem.annealRestarts = 3;
+  cfg.subproblem.annealIters = 4000;
+  cfg.merge.beamWidth = 16;
+  return cfg;
+}
+
+/// Oblivious-model MCL of a full mapping, counting only inter-node traffic.
+double mappingMcl(const CommGraph& g, const Torus& t, const Mapping& m) {
+  return placementMcl(t, g, m.nodeVector());
+}
+
+TEST(Rahtm, ProducesValidMappingBT) {
+  const Torus t = Torus::torus(Shape{4, 4, 2});  // 32 nodes
+  const Workload w = makeBT(64);                 // c = 2
+  RahtmMapper mapper(fastConfig());
+  const Mapping m = mapper.mapWorkload(w, t, 2);
+  EXPECT_TRUE(m.validate(t, 2).empty()) << m.validate(t, 2);
+  EXPECT_GT(mapper.stats().subproblemsSolved, 0);
+  EXPECT_GT(mapper.stats().totalSeconds, 0);
+}
+
+TEST(Rahtm, ProducesValidMappingCG) {
+  const Torus t = Torus::torus(Shape{2, 2, 2, 2});  // 16 nodes
+  const Workload w = makeCG(64);                    // c = 4
+  RahtmMapper mapper(fastConfig());
+  const Mapping m = mapper.mapWorkload(w, t, 4);
+  EXPECT_TRUE(m.validate(t, 4).empty()) << m.validate(t, 4);
+}
+
+TEST(Rahtm, ClusteringAbsorbsHeavyPairsIntoNodes) {
+  // Ranks 2i and 2i+1 exchange heavily; with concentration 2 the clustering
+  // phase must co-locate every pair, zeroing their network traffic.
+  const Torus t = Torus::torus(Shape{2, 2, 2});
+  CommGraph g(16);
+  for (RankId r = 0; r < 16; r += 2) g.addExchange(r, r + 1, 1000);
+  for (RankId r = 0; r + 2 < 16; ++r) g.addExchange(r, r + 2, 1);
+  RahtmConfig cfg = fastConfig();
+  cfg.logicalGrid = Shape{1, 16};  // pairs adjacent along the row
+  RahtmMapper mapper(cfg);
+  const Mapping m = mapper.map(g, t, 2);
+  EXPECT_TRUE(m.validate(t, 2).empty());
+  for (RankId r = 0; r < 16; r += 2) {
+    EXPECT_EQ(m.nodeOf(r), m.nodeOf(r + 1)) << "pair " << r;
+  }
+  EXPECT_DOUBLE_EQ(mapper.stats().intraNodeVolume, 2 * 8 * 1000.0);
+}
+
+TEST(Rahtm, BeatsOrMatchesDefaultMappingOnMcl) {
+  // The headline property: routing-aware mapping lowers the oblivious-model
+  // MCL versus the ABCDET baseline on the paper's workload family.
+  const Torus t = Torus::torus(Shape{4, 4, 2});
+  for (const char* name : {"BT", "SP", "CG"}) {
+    const Workload w = makeNasByName(name, 64);
+    const CommGraph g = w.commGraph();
+    RahtmMapper rahtm(fastConfig());
+    DefaultMapper def;
+    const double mclRahtm = mappingMcl(g, t, rahtm.mapWorkload(w, t, 2));
+    const double mclDef = mappingMcl(g, t, def.map(g, t, 2));
+    EXPECT_LE(mclRahtm, mclDef * 1.05) << name;  // never meaningfully worse
+  }
+}
+
+TEST(Rahtm, MergePhaseImprovesOrMatchesPinsOnly) {
+  const Torus t = Torus::torus(Shape{4, 4, 2});
+  const Workload w = makeCG(64);
+  const CommGraph g = w.commGraph();
+
+  RahtmConfig withMerge = fastConfig();
+  RahtmConfig pinsOnly = fastConfig();
+  pinsOnly.enableMerge = false;
+  RahtmMapper a(withMerge), b(pinsOnly);
+  const double mclMerge = mappingMcl(g, t, a.mapWorkload(w, t, 2));
+  const double mclPins = mappingMcl(g, t, b.mapWorkload(w, t, 2));
+  EXPECT_LE(mclMerge, mclPins + 1e-9);
+}
+
+TEST(Rahtm, RootObjectiveMatchesMappingMcl) {
+  // The root merge objective is the oblivious MCL of the final mapping at
+  // node granularity (all flows of the contracted graph, full machine).
+  const Torus t = Torus::torus(Shape{2, 2, 2});
+  const Workload w = makeBT(16);
+  RahtmMapper mapper(fastConfig());
+  const Mapping m = mapper.mapWorkload(w, t, 2);
+  const double mcl = mappingMcl(w.commGraph(), t, m);
+  EXPECT_NEAR(mapper.stats().rootObjective, mcl, 1e-6);
+}
+
+TEST(Rahtm, HopBytesObjectiveAblation) {
+  const Torus t = Torus::torus(Shape{2, 2, 2});
+  const Workload w = makeBT(16);
+  const CommGraph g = w.commGraph();
+  RahtmConfig hb = fastConfig();
+  hb.subproblem.objective = MapObjective::HopBytes;
+  hb.merge.objective = MapObjective::HopBytes;
+  RahtmMapper hbMapper(hb);
+  const Mapping mHb = hbMapper.mapWorkload(w, t, 2);
+  EXPECT_TRUE(mHb.validate(t, 2).empty());
+  RahtmMapper mclMapper(fastConfig());
+  const Mapping mMcl = mclMapper.mapWorkload(w, t, 2);
+  // The hop-bytes variant optimizes distance, so it must win (or tie) on
+  // hop-bytes; the MCL variant must win (or tie) on MCL.
+  EXPECT_LE(mappingMcl(g, t, mMcl), mappingMcl(g, t, mHb) + 1e-9);
+  EXPECT_LE(hopBytes(g, t, mHb.nodeVector()),
+            hopBytes(g, t, mMcl.nodeVector()) * 1.10 + 1e-9);
+}
+
+TEST(Rahtm, StatsBreakdownIsConsistent) {
+  const Torus t = Torus::torus(Shape{2, 2, 2});
+  const Workload w = makeCG(16);
+  RahtmMapper mapper(fastConfig());
+  mapper.mapWorkload(w, t, 2);
+  const RahtmStats& s = mapper.stats();
+  EXPECT_GE(s.totalSeconds,
+            s.clusterSeconds + s.pinSeconds + s.mergeSeconds - 1e-6);
+  int methodTotal = 0;
+  for (const auto& [method, count] : s.solverMethodCounts) methodTotal += count;
+  EXPECT_EQ(methodTotal, s.subproblemsSolved);
+  EXPECT_DOUBLE_EQ(s.intraNodeVolume + s.interNodeVolume,
+                   w.commGraph().totalVolume());
+}
+
+TEST(Rahtm, RejectsMismatchedInputs) {
+  const Torus t = Torus::torus(Shape{2, 2});
+  RahtmMapper mapper(fastConfig());
+  CommGraph g(7);  // not nodes * concentration
+  EXPECT_THROW(mapper.map(g, t, 2), PreconditionError);
+
+  RahtmConfig cfg = fastConfig();
+  cfg.logicalGrid = Shape{3, 3};  // volume != ranks
+  RahtmMapper bad(cfg);
+  CommGraph g8(8);
+  EXPECT_THROW(bad.map(g8, t, 2), PreconditionError);
+}
+
+TEST(Rahtm, WorksWithOneDimensionalFallbackGrid) {
+  // No logical grid: ranks treated as a 1D row.
+  const Torus t = Torus::torus(Shape{2, 2});
+  CommGraph g(8);
+  for (RankId r = 0; r + 1 < 8; ++r) g.addExchange(r, r + 1, 10);
+  RahtmMapper mapper(fastConfig());
+  const Mapping m = mapper.map(g, t, 2);
+  EXPECT_TRUE(m.validate(t, 2).empty());
+}
+
+TEST(Rahtm, EndToEndLowersSimulatedCommTime) {
+  // Full-loop check on CG (the mapping-sensitive benchmark): RAHTM's
+  // simulated communication time must not exceed the default mapping's.
+  const Torus t = Torus::torus(Shape{2, 2, 2, 2});
+  const Workload w = makeCG(64, NasParams{2048, 1});
+  simnet::SimConfig sim;
+  RahtmMapper rahtm(fastConfig());
+  DefaultMapper def;
+  const auto cyclesRahtm =
+      commCyclesPerIteration(w, t, rahtm.mapWorkload(w, t, 4), sim);
+  const auto cyclesDef =
+      commCyclesPerIteration(w, t, def.map(w.commGraph(), t, 4), sim);
+  EXPECT_LE(cyclesRahtm, cyclesDef * 1.05);
+}
+
+TEST(Rahtm, LargerBeamNeverHurtsRootObjective) {
+  const Torus t = Torus::torus(Shape{4, 4});
+  const Workload w = makeCG(32);
+  RahtmConfig narrow = fastConfig();
+  narrow.merge.beamWidth = 1;
+  RahtmConfig wide = fastConfig();
+  wide.merge.beamWidth = 64;
+  RahtmMapper a(narrow), b(wide);
+  a.mapWorkload(w, t, 2);
+  b.mapWorkload(w, t, 2);
+  EXPECT_LE(b.stats().rootObjective, a.stats().rootObjective + 1e-9);
+}
+
+}  // namespace
+}  // namespace rahtm

@@ -1,0 +1,73 @@
+// Tests for the mapping-quality report module.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "routing/oblivious.hpp"
+#include "routing/report.hpp"
+#include "topology/torus.hpp"
+#include "workloads/workload.hpp"
+
+namespace rahtm {
+namespace {
+
+TEST(LoadReport, EmptyTrafficIsPerfectlyFairAndIdle) {
+  const Torus t = Torus::torus(Shape{4, 4});
+  const ChannelLoadMap loads(t);
+  const LoadDistribution d = summarizeLoads(loads);
+  EXPECT_EQ(d.channels, t.numChannels());
+  EXPECT_EQ(d.idleChannels, d.channels);
+  EXPECT_DOUBLE_EQ(d.max, 0);
+  EXPECT_DOUBLE_EQ(d.fairness, 1.0);  // degenerate all-zero case
+}
+
+TEST(LoadReport, SingleHotChannel) {
+  const Torus t = Torus::torus(Shape{4});
+  ChannelLoadMap loads(t);
+  loads.add(t.channelId(0, 0, Dir::Plus), 80);
+  const LoadDistribution d = summarizeLoads(loads);
+  EXPECT_DOUBLE_EQ(d.max, 80);
+  EXPECT_EQ(d.channels, 8);
+  EXPECT_EQ(d.idleChannels, 7);
+  EXPECT_DOUBLE_EQ(d.mean, 10);
+  // Jain's index for one active channel out of 8 = 1/8.
+  EXPECT_NEAR(d.fairness, 1.0 / 8, 1e-12);
+}
+
+TEST(LoadReport, UniformLoadsAreFair) {
+  const Torus t = Torus::torus(Shape{4});
+  ChannelLoadMap loads(t);
+  for (NodeId n = 0; n < 4; ++n) {
+    loads.add(t.channelId(n, 0, Dir::Plus), 5);
+    loads.add(t.channelId(n, 0, Dir::Minus), 5);
+  }
+  const LoadDistribution d = summarizeLoads(loads);
+  EXPECT_NEAR(d.fairness, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d.p50, 5);
+  EXPECT_DOUBLE_EQ(d.p95, 5);
+  EXPECT_EQ(d.idleChannels, 0);
+}
+
+TEST(MappingReportTest, ConsistentWithDirectEvaluators) {
+  const Torus t = Torus::torus(Shape{2, 2, 2});
+  const Workload w = makeCG(8);
+  const CommGraph g = w.commGraph();
+  std::vector<NodeId> place(8);
+  std::iota(place.begin(), place.end(), 0);
+  const MappingReport r = reportMapping(t, g, place);
+  EXPECT_NEAR(r.uniformMinimal.max, placementMcl(t, g, place), 1e-9);
+  EXPECT_NEAR(
+      r.dimensionOrder.max,
+      placementMcl(t, g, place, LoadModel::DimensionOrder), 1e-9);
+  // DOR concentrates on fewer channels: fairness cannot exceed MAR's.
+  EXPECT_LE(r.dimensionOrder.fairness, r.uniformMinimal.fairness + 1e-9);
+  EXPECT_GT(r.hopBytes, 0);
+  EXPECT_GT(r.avgHops, 0);
+  const std::string text = formatReport(r);
+  EXPECT_NE(text.find("MAR model"), std::string::npos);
+  EXPECT_NE(text.find("hop-bytes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rahtm

@@ -1,0 +1,159 @@
+/// \file rahtm_map.cpp
+/// The offline mapping tool the paper describes (§I, §V-B): take a
+/// communication profile (or a named synthetic workload), a machine
+/// description and a concentration factor; emit a BG/Q-style mapfile that
+/// the MPI runtime consumes on every subsequent run.
+///
+/// Usage:
+///   rahtm_map --machine 4x4x4x2 --concentration 8 --benchmark CG \
+///             --out cg.map [--mapper rahtm|abcdet|hilbert|rht|greedy|random]
+///   rahtm_map --machine 4x4x4x2 --concentration 8 --profile run.prof \
+///             --grid 32x32 --out app.map
+///
+/// The profile format is the library's IPM-lite text format (see
+/// profile/profile.hpp); --grid names the logical rank-grid geometry used
+/// by the clustering tile search.
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "common/cli.hpp"
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "core/bisection_mapper.hpp"
+#include "core/greedy_mapper.hpp"
+#include "core/rahtm.hpp"
+#include "graph/stats.hpp"
+#include "mapping/hilbert.hpp"
+#include "mapping/mapfile.hpp"
+#include "mapping/permutation.hpp"
+#include "mapping/rubik.hpp"
+#include "profile/profile.hpp"
+#include "routing/oblivious.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace rahtm;
+
+Shape parseShape(const std::string& spec) {
+  Shape shape;
+  for (const std::string& part : split(spec, 'x')) {
+    shape.push_back(static_cast<std::int32_t>(parseInt(part)));
+  }
+  return shape;
+}
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " --machine AxBxC... --concentration N\n"
+      << "          (--benchmark BT|SP|CG | --profile FILE [--grid AxB])\n"
+      << "          [--out mapfile] [--mapper rahtm|abcdet|hilbert|rht|"
+         "greedy|rcb|random]\n"
+      << "          [--bytes N] [--beam N] [--no-merge] [--no-refine] "
+         "[--verbose]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv);
+    if (args.has("help") || !args.has("machine")) return usage(argv[0]);
+    if (args.getBool("verbose")) setLogLevel(LogLevel::Info);
+
+    const Torus machine = Torus::torus(parseShape(args.getString("machine", "")));
+    const int concentration =
+        static_cast<int>(args.getInt("concentration", 1));
+    const auto ranks =
+        static_cast<RankId>(machine.numNodes() * concentration);
+
+    // ---- Input: profile file or named synthetic workload -----------------
+    CommGraph graph;
+    Shape grid;
+    if (args.has("profile")) {
+      std::ifstream in(args.getString("profile", ""));
+      if (!in) {
+        std::cerr << "cannot open profile file\n";
+        return 1;
+      }
+      const Profile p = readProfile(in);
+      graph = p.matrix;
+      if (args.has("grid")) grid = parseShape(args.getString("grid", ""));
+      if (graph.numRanks() != ranks) {
+        std::cerr << "profile has " << graph.numRanks() << " ranks; machine*"
+                  << "concentration = " << ranks << "\n";
+        return 1;
+      }
+    } else {
+      NasParams params;
+      params.messageBytes = args.getInt("bytes", 4096);
+      const Workload w =
+          makeNasByName(args.getString("benchmark", "CG"), ranks, params);
+      graph = w.commGraph();
+      grid = w.logicalGrid;
+    }
+
+    // ---- Mapper selection -------------------------------------------------
+    const std::string which = args.getString("mapper", "rahtm");
+    std::unique_ptr<TaskMapper> mapper;
+    if (which == "rahtm") {
+      RahtmConfig cfg;
+      cfg.logicalGrid = grid;
+      cfg.merge.beamWidth = static_cast<int>(args.getInt("beam", 64));
+      cfg.enableMerge = !args.getBool("no-merge");
+      cfg.finalRefinement = !args.getBool("no-refine");
+      mapper = std::make_unique<RahtmMapper>(cfg);
+    } else if (which == "abcdet") {
+      mapper = std::make_unique<DefaultMapper>();
+    } else if (which == "hilbert") {
+      mapper = std::make_unique<HilbertMapper>();
+    } else if (which == "rht") {
+      mapper = std::make_unique<RubikMapper>(
+          RubikMapper::autoFor(ranks, machine, concentration));
+    } else if (which == "greedy") {
+      mapper = std::make_unique<GreedyHopBytesMapper>(grid);
+    } else if (which == "rcb") {
+      BisectionConfig bisect;
+      bisect.logicalGrid = grid;
+      mapper = std::make_unique<RecursiveBisectionMapper>(bisect);
+    } else if (which == "random") {
+      mapper = std::make_unique<RandomMapper>();
+    } else {
+      std::cerr << "unknown mapper '" << which << "'\n";
+      return usage(argv[0]);
+    }
+
+    const Mapping mapping = mapper->map(graph, machine, concentration);
+    const std::string err = mapping.validate(machine, concentration);
+    if (!err.empty()) {
+      std::cerr << "internal error: invalid mapping: " << err << "\n";
+      return 1;
+    }
+
+    // ---- Report + mapfile --------------------------------------------------
+    const GraphStats stats = computeStats(graph);
+    std::cerr << which << ": mapped " << stats.ranks << " ranks ("
+              << stats.flows << " flows) onto " << machine.describe()
+              << ", concentration " << concentration << "\n";
+    std::cerr << "  MCL (MAR model): "
+              << placementMcl(machine, graph, mapping.nodeVector())
+              << ", hop-bytes: "
+              << hopBytes(graph, machine, mapping.nodeVector()) << "\n";
+
+    const std::string outPath = args.getString("out", "rahtm.map");
+    std::ofstream out(outPath);
+    if (!out) {
+      std::cerr << "cannot write " << outPath << "\n";
+      return 1;
+    }
+    writeMapfile(out, mapping, machine);
+    std::cerr << "  wrote " << outPath << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
