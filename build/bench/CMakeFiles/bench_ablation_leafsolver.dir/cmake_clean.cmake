@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_leafsolver.dir/bench_ablation_leafsolver.cpp.o"
+  "CMakeFiles/bench_ablation_leafsolver.dir/bench_ablation_leafsolver.cpp.o.d"
+  "bench_ablation_leafsolver"
+  "bench_ablation_leafsolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_leafsolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

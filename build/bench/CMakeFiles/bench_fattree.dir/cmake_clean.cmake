@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fattree.dir/bench_fattree.cpp.o"
+  "CMakeFiles/bench_fattree.dir/bench_fattree.cpp.o.d"
+  "bench_fattree"
+  "bench_fattree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fattree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

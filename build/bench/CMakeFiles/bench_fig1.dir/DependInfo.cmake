@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1.cpp" "bench/CMakeFiles/bench_fig1.dir/bench_fig1.cpp.o" "gcc" "bench/CMakeFiles/bench_fig1.dir/bench_fig1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rahtm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/rahtm_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rahtm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/rahtm_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/rahtm_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/rahtm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/rahtm_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rahtm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rahtm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rahtm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_routing_gap.dir/bench_routing_gap.cpp.o"
+  "CMakeFiles/bench_routing_gap.dir/bench_routing_gap.cpp.o.d"
+  "bench_routing_gap"
+  "bench_routing_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routing_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rahtm_bench_common.dir/experiment.cpp.o"
+  "CMakeFiles/rahtm_bench_common.dir/experiment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rahtm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_mapping.dir/collective_mapping.cpp.o"
+  "CMakeFiles/collective_mapping.dir/collective_mapping.cpp.o.d"
+  "collective_mapping"
+  "collective_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

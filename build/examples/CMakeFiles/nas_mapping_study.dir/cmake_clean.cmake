@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_mapping_study.dir/nas_mapping_study.cpp.o"
+  "CMakeFiles/nas_mapping_study.dir/nas_mapping_study.cpp.o.d"
+  "nas_mapping_study"
+  "nas_mapping_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_mapping_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

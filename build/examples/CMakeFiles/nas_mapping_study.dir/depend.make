@@ -1,0 +1,2 @@
+# Empty dependencies file for nas_mapping_study.
+# This may be replaced when dependencies are built.

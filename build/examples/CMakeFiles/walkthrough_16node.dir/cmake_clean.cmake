@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walkthrough_16node.dir/walkthrough_16node.cpp.o"
+  "CMakeFiles/walkthrough_16node.dir/walkthrough_16node.cpp.o.d"
+  "walkthrough_16node"
+  "walkthrough_16node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walkthrough_16node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

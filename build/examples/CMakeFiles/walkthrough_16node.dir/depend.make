@@ -1,0 +1,2 @@
+# Empty dependencies file for walkthrough_16node.
+# This may be replaced when dependencies are built.

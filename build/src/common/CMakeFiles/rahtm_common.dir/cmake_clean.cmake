@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rahtm_common.dir/cli.cpp.o"
+  "CMakeFiles/rahtm_common.dir/cli.cpp.o.d"
+  "CMakeFiles/rahtm_common.dir/log.cpp.o"
+  "CMakeFiles/rahtm_common.dir/log.cpp.o.d"
+  "CMakeFiles/rahtm_common.dir/math.cpp.o"
+  "CMakeFiles/rahtm_common.dir/math.cpp.o.d"
+  "CMakeFiles/rahtm_common.dir/rng.cpp.o"
+  "CMakeFiles/rahtm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/rahtm_common.dir/strings.cpp.o"
+  "CMakeFiles/rahtm_common.dir/strings.cpp.o.d"
+  "librahtm_common.a"
+  "librahtm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rahtm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

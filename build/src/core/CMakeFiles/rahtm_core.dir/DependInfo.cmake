@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bisection_mapper.cpp" "src/core/CMakeFiles/rahtm_core.dir/bisection_mapper.cpp.o" "gcc" "src/core/CMakeFiles/rahtm_core.dir/bisection_mapper.cpp.o.d"
+  "/root/repo/src/core/clustering.cpp" "src/core/CMakeFiles/rahtm_core.dir/clustering.cpp.o" "gcc" "src/core/CMakeFiles/rahtm_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/core/fattree_mapper.cpp" "src/core/CMakeFiles/rahtm_core.dir/fattree_mapper.cpp.o" "gcc" "src/core/CMakeFiles/rahtm_core.dir/fattree_mapper.cpp.o.d"
+  "/root/repo/src/core/greedy_mapper.cpp" "src/core/CMakeFiles/rahtm_core.dir/greedy_mapper.cpp.o" "gcc" "src/core/CMakeFiles/rahtm_core.dir/greedy_mapper.cpp.o.d"
+  "/root/repo/src/core/hierarchy.cpp" "src/core/CMakeFiles/rahtm_core.dir/hierarchy.cpp.o" "gcc" "src/core/CMakeFiles/rahtm_core.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/core/merge.cpp" "src/core/CMakeFiles/rahtm_core.dir/merge.cpp.o" "gcc" "src/core/CMakeFiles/rahtm_core.dir/merge.cpp.o.d"
+  "/root/repo/src/core/milp_mapper.cpp" "src/core/CMakeFiles/rahtm_core.dir/milp_mapper.cpp.o" "gcc" "src/core/CMakeFiles/rahtm_core.dir/milp_mapper.cpp.o.d"
+  "/root/repo/src/core/rahtm.cpp" "src/core/CMakeFiles/rahtm_core.dir/rahtm.cpp.o" "gcc" "src/core/CMakeFiles/rahtm_core.dir/rahtm.cpp.o.d"
+  "/root/repo/src/core/refine.cpp" "src/core/CMakeFiles/rahtm_core.dir/refine.cpp.o" "gcc" "src/core/CMakeFiles/rahtm_core.dir/refine.cpp.o.d"
+  "/root/repo/src/core/subproblem.cpp" "src/core/CMakeFiles/rahtm_core.dir/subproblem.cpp.o" "gcc" "src/core/CMakeFiles/rahtm_core.dir/subproblem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rahtm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rahtm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rahtm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/rahtm_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/rahtm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/rahtm_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rahtm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/rahtm_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rahtm_core.dir/bisection_mapper.cpp.o"
+  "CMakeFiles/rahtm_core.dir/bisection_mapper.cpp.o.d"
+  "CMakeFiles/rahtm_core.dir/clustering.cpp.o"
+  "CMakeFiles/rahtm_core.dir/clustering.cpp.o.d"
+  "CMakeFiles/rahtm_core.dir/fattree_mapper.cpp.o"
+  "CMakeFiles/rahtm_core.dir/fattree_mapper.cpp.o.d"
+  "CMakeFiles/rahtm_core.dir/greedy_mapper.cpp.o"
+  "CMakeFiles/rahtm_core.dir/greedy_mapper.cpp.o.d"
+  "CMakeFiles/rahtm_core.dir/hierarchy.cpp.o"
+  "CMakeFiles/rahtm_core.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/rahtm_core.dir/merge.cpp.o"
+  "CMakeFiles/rahtm_core.dir/merge.cpp.o.d"
+  "CMakeFiles/rahtm_core.dir/milp_mapper.cpp.o"
+  "CMakeFiles/rahtm_core.dir/milp_mapper.cpp.o.d"
+  "CMakeFiles/rahtm_core.dir/rahtm.cpp.o"
+  "CMakeFiles/rahtm_core.dir/rahtm.cpp.o.d"
+  "CMakeFiles/rahtm_core.dir/refine.cpp.o"
+  "CMakeFiles/rahtm_core.dir/refine.cpp.o.d"
+  "CMakeFiles/rahtm_core.dir/subproblem.cpp.o"
+  "CMakeFiles/rahtm_core.dir/subproblem.cpp.o.d"
+  "librahtm_core.a"
+  "librahtm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rahtm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

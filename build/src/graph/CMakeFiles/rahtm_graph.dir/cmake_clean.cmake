@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rahtm_graph.dir/comm_graph.cpp.o"
+  "CMakeFiles/rahtm_graph.dir/comm_graph.cpp.o.d"
+  "CMakeFiles/rahtm_graph.dir/stats.cpp.o"
+  "CMakeFiles/rahtm_graph.dir/stats.cpp.o.d"
+  "librahtm_graph.a"
+  "librahtm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rahtm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rahtm_lp.dir/milp.cpp.o"
+  "CMakeFiles/rahtm_lp.dir/milp.cpp.o.d"
+  "CMakeFiles/rahtm_lp.dir/model.cpp.o"
+  "CMakeFiles/rahtm_lp.dir/model.cpp.o.d"
+  "CMakeFiles/rahtm_lp.dir/simplex.cpp.o"
+  "CMakeFiles/rahtm_lp.dir/simplex.cpp.o.d"
+  "librahtm_lp.a"
+  "librahtm_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rahtm_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/hilbert.cpp" "src/mapping/CMakeFiles/rahtm_mapping.dir/hilbert.cpp.o" "gcc" "src/mapping/CMakeFiles/rahtm_mapping.dir/hilbert.cpp.o.d"
+  "/root/repo/src/mapping/mapfile.cpp" "src/mapping/CMakeFiles/rahtm_mapping.dir/mapfile.cpp.o" "gcc" "src/mapping/CMakeFiles/rahtm_mapping.dir/mapfile.cpp.o.d"
+  "/root/repo/src/mapping/mapping.cpp" "src/mapping/CMakeFiles/rahtm_mapping.dir/mapping.cpp.o" "gcc" "src/mapping/CMakeFiles/rahtm_mapping.dir/mapping.cpp.o.d"
+  "/root/repo/src/mapping/permutation.cpp" "src/mapping/CMakeFiles/rahtm_mapping.dir/permutation.cpp.o" "gcc" "src/mapping/CMakeFiles/rahtm_mapping.dir/permutation.cpp.o.d"
+  "/root/repo/src/mapping/rubik.cpp" "src/mapping/CMakeFiles/rahtm_mapping.dir/rubik.cpp.o" "gcc" "src/mapping/CMakeFiles/rahtm_mapping.dir/rubik.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rahtm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rahtm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rahtm_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

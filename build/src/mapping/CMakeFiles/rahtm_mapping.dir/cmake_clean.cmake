@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rahtm_mapping.dir/hilbert.cpp.o"
+  "CMakeFiles/rahtm_mapping.dir/hilbert.cpp.o.d"
+  "CMakeFiles/rahtm_mapping.dir/mapfile.cpp.o"
+  "CMakeFiles/rahtm_mapping.dir/mapfile.cpp.o.d"
+  "CMakeFiles/rahtm_mapping.dir/mapping.cpp.o"
+  "CMakeFiles/rahtm_mapping.dir/mapping.cpp.o.d"
+  "CMakeFiles/rahtm_mapping.dir/permutation.cpp.o"
+  "CMakeFiles/rahtm_mapping.dir/permutation.cpp.o.d"
+  "CMakeFiles/rahtm_mapping.dir/rubik.cpp.o"
+  "CMakeFiles/rahtm_mapping.dir/rubik.cpp.o.d"
+  "librahtm_mapping.a"
+  "librahtm_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rahtm_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rahtm_profile.dir/profile.cpp.o"
+  "CMakeFiles/rahtm_profile.dir/profile.cpp.o.d"
+  "librahtm_profile.a"
+  "librahtm_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rahtm_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/channel_load.cpp" "src/routing/CMakeFiles/rahtm_routing.dir/channel_load.cpp.o" "gcc" "src/routing/CMakeFiles/rahtm_routing.dir/channel_load.cpp.o.d"
+  "/root/repo/src/routing/evaluator.cpp" "src/routing/CMakeFiles/rahtm_routing.dir/evaluator.cpp.o" "gcc" "src/routing/CMakeFiles/rahtm_routing.dir/evaluator.cpp.o.d"
+  "/root/repo/src/routing/lp_routing.cpp" "src/routing/CMakeFiles/rahtm_routing.dir/lp_routing.cpp.o" "gcc" "src/routing/CMakeFiles/rahtm_routing.dir/lp_routing.cpp.o.d"
+  "/root/repo/src/routing/oblivious.cpp" "src/routing/CMakeFiles/rahtm_routing.dir/oblivious.cpp.o" "gcc" "src/routing/CMakeFiles/rahtm_routing.dir/oblivious.cpp.o.d"
+  "/root/repo/src/routing/report.cpp" "src/routing/CMakeFiles/rahtm_routing.dir/report.cpp.o" "gcc" "src/routing/CMakeFiles/rahtm_routing.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rahtm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rahtm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rahtm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/rahtm_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rahtm_routing.dir/channel_load.cpp.o"
+  "CMakeFiles/rahtm_routing.dir/channel_load.cpp.o.d"
+  "CMakeFiles/rahtm_routing.dir/evaluator.cpp.o"
+  "CMakeFiles/rahtm_routing.dir/evaluator.cpp.o.d"
+  "CMakeFiles/rahtm_routing.dir/lp_routing.cpp.o"
+  "CMakeFiles/rahtm_routing.dir/lp_routing.cpp.o.d"
+  "CMakeFiles/rahtm_routing.dir/oblivious.cpp.o"
+  "CMakeFiles/rahtm_routing.dir/oblivious.cpp.o.d"
+  "CMakeFiles/rahtm_routing.dir/report.cpp.o"
+  "CMakeFiles/rahtm_routing.dir/report.cpp.o.d"
+  "librahtm_routing.a"
+  "librahtm_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rahtm_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rahtm_simnet.dir/simulator.cpp.o"
+  "CMakeFiles/rahtm_simnet.dir/simulator.cpp.o.d"
+  "librahtm_simnet.a"
+  "librahtm_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rahtm_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/fattree.cpp" "src/topology/CMakeFiles/rahtm_topology.dir/fattree.cpp.o" "gcc" "src/topology/CMakeFiles/rahtm_topology.dir/fattree.cpp.o.d"
+  "/root/repo/src/topology/orientation.cpp" "src/topology/CMakeFiles/rahtm_topology.dir/orientation.cpp.o" "gcc" "src/topology/CMakeFiles/rahtm_topology.dir/orientation.cpp.o.d"
+  "/root/repo/src/topology/presets.cpp" "src/topology/CMakeFiles/rahtm_topology.dir/presets.cpp.o" "gcc" "src/topology/CMakeFiles/rahtm_topology.dir/presets.cpp.o.d"
+  "/root/repo/src/topology/subcube.cpp" "src/topology/CMakeFiles/rahtm_topology.dir/subcube.cpp.o" "gcc" "src/topology/CMakeFiles/rahtm_topology.dir/subcube.cpp.o.d"
+  "/root/repo/src/topology/torus.cpp" "src/topology/CMakeFiles/rahtm_topology.dir/torus.cpp.o" "gcc" "src/topology/CMakeFiles/rahtm_topology.dir/torus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rahtm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

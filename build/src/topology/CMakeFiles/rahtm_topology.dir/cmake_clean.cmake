@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rahtm_topology.dir/fattree.cpp.o"
+  "CMakeFiles/rahtm_topology.dir/fattree.cpp.o.d"
+  "CMakeFiles/rahtm_topology.dir/orientation.cpp.o"
+  "CMakeFiles/rahtm_topology.dir/orientation.cpp.o.d"
+  "CMakeFiles/rahtm_topology.dir/presets.cpp.o"
+  "CMakeFiles/rahtm_topology.dir/presets.cpp.o.d"
+  "CMakeFiles/rahtm_topology.dir/subcube.cpp.o"
+  "CMakeFiles/rahtm_topology.dir/subcube.cpp.o.d"
+  "CMakeFiles/rahtm_topology.dir/torus.cpp.o"
+  "CMakeFiles/rahtm_topology.dir/torus.cpp.o.d"
+  "librahtm_topology.a"
+  "librahtm_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rahtm_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librahtm_topology.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rahtm_workloads.dir/collectives.cpp.o"
+  "CMakeFiles/rahtm_workloads.dir/collectives.cpp.o.d"
+  "CMakeFiles/rahtm_workloads.dir/workload.cpp.o"
+  "CMakeFiles/rahtm_workloads.dir/workload.cpp.o.d"
+  "librahtm_workloads.a"
+  "librahtm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rahtm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bisection_mapper.dir/test_bisection_mapper.cpp.o"
+  "CMakeFiles/test_bisection_mapper.dir/test_bisection_mapper.cpp.o.d"
+  "test_bisection_mapper"
+  "test_bisection_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bisection_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_greedy_mapper.dir/test_greedy_mapper.cpp.o"
+  "CMakeFiles/test_greedy_mapper.dir/test_greedy_mapper.cpp.o.d"
+  "test_greedy_mapper"
+  "test_greedy_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_greedy_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

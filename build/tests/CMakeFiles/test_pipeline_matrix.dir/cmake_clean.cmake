@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_matrix.dir/test_pipeline_matrix.cpp.o"
+  "CMakeFiles/test_pipeline_matrix.dir/test_pipeline_matrix.cpp.o.d"
+  "test_pipeline_matrix"
+  "test_pipeline_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rahtm.dir/test_rahtm.cpp.o"
+  "CMakeFiles/test_rahtm.dir/test_rahtm.cpp.o.d"
+  "test_rahtm"
+  "test_rahtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rahtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

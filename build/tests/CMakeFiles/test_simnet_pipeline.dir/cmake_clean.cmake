@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simnet_pipeline.dir/test_simnet_pipeline.cpp.o"
+  "CMakeFiles/test_simnet_pipeline.dir/test_simnet_pipeline.cpp.o.d"
+  "test_simnet_pipeline"
+  "test_simnet_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simnet_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

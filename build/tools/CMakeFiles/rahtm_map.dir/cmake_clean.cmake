@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rahtm_map.dir/rahtm_map.cpp.o"
+  "CMakeFiles/rahtm_map.dir/rahtm_map.cpp.o.d"
+  "rahtm_map"
+  "rahtm_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rahtm_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
