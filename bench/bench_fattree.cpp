@@ -9,12 +9,14 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench/experiment.hpp"
 #include "core/fattree_mapper.hpp"
 #include "topology/fattree.hpp"
 #include "workloads/collectives.hpp"
 #include "workloads/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto telemetry = rahtm::bench::telemetryFromCli(argc, argv);
   using namespace rahtm;
   const int c = 4;
 

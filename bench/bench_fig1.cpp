@@ -7,6 +7,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench/experiment.hpp"
 #include "graph/stats.hpp"
 #include "mapping/mapping.hpp"
 #include "routing/lp_routing.hpp"
@@ -14,7 +15,8 @@
 #include "simnet/simulator.hpp"
 #include "topology/torus.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto telemetry = rahtm::bench::telemetryFromCli(argc, argv);
   using namespace rahtm;
   const Torus net = Torus::mesh(Shape{2, 2});
   CommGraph g(4);

@@ -13,7 +13,8 @@
 #include "mapping/permutation.hpp"
 #include "profile/profile.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto telemetry = rahtm::bench::telemetryFromCli(argc, argv);
   using namespace rahtm;
   using namespace rahtm::bench;
   const ExperimentScale scale = ExperimentScale::fromEnv();

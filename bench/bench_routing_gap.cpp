@@ -12,6 +12,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench/experiment.hpp"
 #include "core/rahtm.hpp"
 #include "graph/stats.hpp"
 #include "mapping/permutation.hpp"
@@ -20,7 +21,8 @@
 #include "topology/torus.hpp"
 #include "workloads/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto telemetry = rahtm::bench::telemetryFromCli(argc, argv);
   using namespace rahtm;
   const Torus machine = Torus::torus(Shape{2, 2, 2, 2});  // LP-tractable
   const int concentration = 4;  // 64 ranks: square (BT) and 2^k (CG)

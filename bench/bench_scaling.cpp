@@ -7,6 +7,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench/experiment.hpp"
 #include "core/rahtm.hpp"
 #include "graph/stats.hpp"
 #include "mapping/permutation.hpp"
@@ -14,7 +15,8 @@
 #include "topology/presets.hpp"
 #include "workloads/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto telemetry = rahtm::bench::telemetryFromCli(argc, argv);
   using namespace rahtm;
   struct Point {
     Torus machine;

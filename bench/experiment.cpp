@@ -45,6 +45,22 @@ std::string canonicalSpec(std::size_t ndims) {
 
 }  // namespace
 
+std::unique_ptr<obs::TelemetrySession> telemetryFromCli(int argc,
+                                                        char** argv) {
+  obs::TelemetryConfig cfg = obs::telemetryConfigFromEnv();
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--trace-out") {
+      cfg.traceOutPath = argv[++i];
+    } else if (flag == "--trace-summary") {
+      cfg.traceSummaryPath = argv[++i];
+    } else if (flag == "--metrics-out") {
+      cfg.metricsOutPath = argv[++i];
+    }
+  }
+  return std::make_unique<obs::TelemetrySession>(cfg);
+}
+
 ExperimentScale ExperimentScale::fromEnv() {
   ExperimentScale scale;
   const std::int64_t nodes = envInt("RAHTM_NODES", 128);

@@ -15,6 +15,7 @@
 
 #include "core/rahtm.hpp"
 #include "mapping/mapping.hpp"
+#include "obs/telemetry.hpp"
 #include "simnet/simulator.hpp"
 #include "topology/torus.hpp"
 #include "workloads/workload.hpp"
@@ -36,6 +37,15 @@ struct ExperimentScale {
   /// Read the scale from the environment (see file header).
   static ExperimentScale fromEnv();
 };
+
+/// Build a telemetry session for a benchmark harness: honors
+/// --trace-out FILE / --trace-summary FILE / --metrics-out FILE on the
+/// command line, falling back to the RAHTM_TRACE_OUT / RAHTM_TRACE_SUMMARY /
+/// RAHTM_METRICS_OUT environment variables. The returned session may be
+/// inert (telemetry off); it flushes its files on destruction, so keep it
+/// alive for the whole main().
+std::unique_ptr<obs::TelemetrySession> telemetryFromCli(int argc,
+                                                        char** argv);
 
 /// One mapper's results on one workload.
 struct MapperRun {

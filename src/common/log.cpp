@@ -1,12 +1,44 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+#include <string>
 
 namespace rahtm {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+LogLevel parseLevel(const char* v, LogLevel fallback) {
+  if (v == nullptr) return fallback;
+  const std::string s(v);
+  if (s == "debug") return LogLevel::Debug;
+  if (s == "info") return LogLevel::Info;
+  if (s == "warn") return LogLevel::Warn;
+  if (s == "error") return LogLevel::Error;
+  if (s == "off") return LogLevel::Off;
+  return fallback;
+}
+
+/// Global threshold; RAHTM_LOG_LEVEL=debug|info|warn|error|off overrides
+/// the default once at first use (setLogLevel still wins afterwards).
+std::atomic<LogLevel>& levelRef() {
+  static std::atomic<LogLevel> level{
+      parseLevel(std::getenv("RAHTM_LOG_LEVEL"), LogLevel::Warn)};
+  return level;
+}
+
+bool timestampsEnabled() {
+  static const bool on = [] {
+    const char* v = std::getenv("RAHTM_LOG_TIMESTAMP");
+    return v != nullptr && std::strcmp(v, "0") != 0;
+  }();
+  return on;
+}
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -17,14 +49,41 @@ const char* tag(LogLevel level) {
     default: return "?????";
   }
 }
+
+/// "2026-08-05T12:34:56.789Z" (UTC).
+std::string isoTimestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
 }  // namespace
 
-void setLogLevel(LogLevel level) { g_level.store(level); }
-LogLevel logLevel() { return g_level.load(); }
+void setLogLevel(LogLevel level) { levelRef().store(level); }
+LogLevel logLevel() { return levelRef().load(); }
 
 void logMessage(LogLevel level, const std::string& msg) {
-  if (level < g_level.load()) return;
-  std::fprintf(stderr, "[rahtm %s] %s\n", tag(level), msg.c_str());
+  if (level < logLevel()) return;
+  // One mutex-guarded fprintf per line so concurrent threads (the tests
+  // exercise the pipeline from several at once) never interleave output.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  if (timestampsEnabled()) {
+    std::fprintf(stderr, "[rahtm %s %s] %s\n", isoTimestamp().c_str(),
+                 tag(level), msg.c_str());
+  } else {
+    std::fprintf(stderr, "[rahtm %s] %s\n", tag(level), msg.c_str());
+  }
 }
 
 }  // namespace rahtm

@@ -10,11 +10,14 @@ namespace rahtm {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
-/// Global log threshold; messages below it are dropped.
+/// Global log threshold; messages below it are dropped. The initial value
+/// is Warn, overridable with RAHTM_LOG_LEVEL=debug|info|warn|error|off.
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
-/// Emit one log line (adds level tag and newline) to stderr.
+/// Emit one log line (adds level tag and newline) to stderr. Thread-safe:
+/// concurrent callers never interleave within a line. Set
+/// RAHTM_LOG_TIMESTAMP=1 to prefix lines with an ISO-8601 UTC timestamp.
 void logMessage(LogLevel level, const std::string& msg);
 
 namespace detail {
@@ -39,6 +42,14 @@ class LogLine {
 
 }  // namespace rahtm
 
+// The switch/if-else wrapping makes the macro a single complete statement,
+// so `if (x) RAHTM_LOG(Info) << "...";  else ...` attaches the else to the
+// user's if, not to the macro's level check (the classic dangling-else
+// hazard of the naked `if (enabled) stream` form).
 #define RAHTM_LOG(level)                                  \
-  if (::rahtm::logLevel() <= ::rahtm::LogLevel::level)    \
-  ::rahtm::detail::LogLine(::rahtm::LogLevel::level)
+  switch (0)                                              \
+  case 0:                                                 \
+  default:                                                \
+    if (::rahtm::logLevel() > ::rahtm::LogLevel::level) { \
+    } else                                                \
+      ::rahtm::detail::LogLine(::rahtm::LogLevel::level)

@@ -7,6 +7,8 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/oblivious.hpp"
 
 namespace rahtm {
@@ -99,6 +101,10 @@ MergeResult mergeChildren(const Torus& regionTopo, const Shape& childShape,
                           const std::vector<MergeChild>& children,
                           const CommGraph& clusterGraph,
                           const MergeConfig& cfg) {
+  obs::ScopedSpan span(obs::tracer(), "rahtm.merge.region", "rahtm");
+  span.attr("children", static_cast<std::int64_t>(children.size()));
+  span.attr("beam_width", static_cast<std::int64_t>(cfg.beamWidth));
+  std::int64_t candidatesEvaluated = 0;
   RAHTM_REQUIRE(!children.empty(), "mergeChildren: no children");
   RAHTM_REQUIRE(childShape.size() == regionTopo.ndims() &&
                     childGrid.size() == regionTopo.ndims(),
@@ -289,6 +295,7 @@ MergeResult mergeChildren(const Torus& regionTopo, const Shape& childShape,
   for (const std::size_t ci : order) {
     std::vector<Candidate> best;  // kept sorted ascending, max beamWidth
     const auto consider = [&](const Candidate& c) {
+      ++candidatesEvaluated;
       const auto pos = std::lower_bound(
           best.begin(), best.end(), c.objective,
           [](const Candidate& x, double v) { return x.objective < v; });
@@ -426,6 +433,7 @@ MergeResult mergeChildren(const Torus& regionTopo, const Shape& childShape,
           }
           pin.objective = hb;
         }
+        ++candidatesEvaluated;
         best.push_back(pin);
       }
     }
@@ -501,6 +509,12 @@ MergeResult mergeChildren(const Torus& regionTopo, const Shape& childShape,
     for (std::size_t k = 0; k < childPos.size(); ++k) {
       result.pinLocalNode[clusterBase[ci] + k] = childPos[k];
     }
+  }
+  span.attr("candidates", candidatesEvaluated);
+  span.attr("objective", result.objective);
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    reg->counter("rahtm.merge.regions").add(1);
+    reg->counter("rahtm.merge.candidates").add(candidatesEvaluated);
   }
   return result;
 }

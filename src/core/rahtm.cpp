@@ -4,7 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
-#include "common/timer.hpp"
+#include "obs/trace.hpp"
 #include "routing/evaluator.hpp"
 
 namespace rahtm {
@@ -52,11 +52,14 @@ struct Pipeline {
            RahtmStats* statsOut)
       : cfg(config), topo(topology), hierarchy(topology), stats(statsOut) {
     L = hierarchy.depth();
-    Timer t;
-    tree = buildClusterTree(graph, rankGrid, concentration,
-                            hierarchy.childCountsDeepestFirst(),
-                            config.tileSearch);
-    stats->clusterSeconds = t.seconds();
+    {
+      obs::ScopedSpan span(obs::tracer(), "rahtm.phase.cluster", "rahtm");
+      tree = buildClusterTree(graph, rankGrid, concentration,
+                              hierarchy.childCountsDeepestFirst(),
+                              config.tileSearch);
+      span.attr("levels", static_cast<std::int64_t>(tree.levels.size()));
+      stats->clusterSeconds = span.close();
+    }
     stats->intraNodeVolume = tree.concentration.intraVolume;
     stats->interNodeVolume = tree.concentration.interVolume;
 
@@ -184,9 +187,15 @@ RahtmMapper::RahtmMapper(RahtmConfig config) : config_(std::move(config)) {}
 
 Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
                          int concentration) {
-  Timer total;
+  // Every phase runs under a tracer span; the RahtmStats timings are the
+  // spans' durations, so the §V-B accounting and a captured trace agree
+  // exactly. With tracing disabled the spans degrade to bare stopwatches.
+  obs::ScopedSpan total(obs::tracer(), "rahtm.map", "rahtm");
   stats_ = RahtmStats{};
   const RankId ranks = graph.numRanks();
+  total.attr("ranks", static_cast<std::int64_t>(ranks));
+  total.attr("machine", topo.describe());
+  total.attr("concentration", static_cast<std::int64_t>(concentration));
   RAHTM_REQUIRE(ranks == topo.numNodes() * concentration,
                 "RahtmMapper: ranks != nodes * concentration");
 
@@ -201,14 +210,21 @@ Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
 
   Pipeline pipe(config_, graph, topo, concentration, rankGrid, &stats_);
 
-  Timer t;
-  pipe.pin(0, 0);
-  stats_.pinSeconds = t.seconds();
+  {
+    obs::ScopedSpan span(obs::tracer(), "rahtm.phase.pin", "rahtm");
+    pipe.pin(0, 0);
+    span.attr("subproblems", static_cast<std::int64_t>(stats_.subproblemsSolved));
+    stats_.pinSeconds = span.close();
+  }
 
-  t.reset();
   double rootObjective = 0;
-  const Pipeline::BlockMap root = pipe.mergeUp(0, 0, &rootObjective);
-  stats_.mergeSeconds = t.seconds();
+  Pipeline::BlockMap root;
+  {
+    obs::ScopedSpan span(obs::tracer(), "rahtm.phase.merge", "rahtm");
+    root = pipe.mergeUp(0, 0, &rootObjective);
+    span.attr("objective", rootObjective);
+    stats_.mergeSeconds = span.close();
+  }
   stats_.rootObjective = rootObjective;
 
   // Node-level cluster -> machine node.
@@ -226,7 +242,7 @@ Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
   // two survives — the hierarchical search must never lose to the trivial
   // mapping.
   if (config_.finalRefinement) {
-    t.reset();
+    obs::ScopedSpan span(obs::tracer(), "rahtm.phase.refine", "rahtm");
     RefineConfig rcfg = config_.refine;
     rcfg.objective = config_.merge.objective;
     const CommGraph& clusterGraph = pipe.tree.concentration.coarseGraph;
@@ -261,7 +277,9 @@ Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
                         << ")";
       }
     }
-    stats_.refineSeconds = t.seconds();
+    span.attr("swaps", static_cast<std::int64_t>(stats_.refineSwaps));
+    span.attr("objective", stats_.rootObjective);
+    stats_.refineSeconds = span.close();
   }
 
   // Rank -> (node, slot): slots assigned in rank order within each node.
@@ -274,7 +292,9 @@ Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
     RAHTM_REQUIRE(n != kInvalidNode, "RahtmMapper: unplaced cluster");
     m.assign(r, n, nextSlot[static_cast<std::size_t>(n)]++);
   }
-  stats_.totalSeconds = total.seconds();
+  total.attr("root_objective", stats_.rootObjective);
+  total.attr("subproblems", static_cast<std::int64_t>(stats_.subproblemsSolved));
+  stats_.totalSeconds = total.close();
   RAHTM_LOG(Info) << "RAHTM mapped " << ranks << " ranks onto "
                   << topo.describe() << " in " << stats_.totalSeconds
                   << "s (cluster " << stats_.clusterSeconds << "s, pin "

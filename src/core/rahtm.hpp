@@ -38,6 +38,11 @@ struct RahtmConfig {
 };
 
 /// Timing and accounting for the §V-B optimization-time experiment.
+///
+/// Phase timings are the durations of the pipeline's tracer spans
+/// ("rahtm.phase.cluster" / ".pin" / ".merge" / ".refine" and "rahtm.map"
+/// for the total), so when a trace is captured (obs::setTracer /
+/// --trace-out) these numbers match the trace file exactly.
 struct RahtmStats {
   double clusterSeconds = 0;
   double pinSeconds = 0;

@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/evaluator.hpp"
 #include "routing/oblivious.hpp"
 
@@ -104,9 +106,12 @@ class SwapState {
 
 }  // namespace
 
-RefineResult refinePlacement(const Torus& topo, const CommGraph& clusterGraph,
-                             std::vector<NodeId>& nodeOfCluster,
-                             const RefineConfig& cfg) {
+namespace {
+
+/// Swap-search body (wrapped by refinePlacement for telemetry).
+RefineResult refineImpl(const Torus& topo, const CommGraph& clusterGraph,
+                        std::vector<NodeId>& nodeOfCluster,
+                        const RefineConfig& cfg) {
   const auto n = static_cast<std::size_t>(clusterGraph.numRanks());
   RAHTM_REQUIRE(nodeOfCluster.size() >= n, "refinePlacement: placement small");
 
@@ -170,6 +175,25 @@ RefineResult refinePlacement(const Torus& topo, const CommGraph& clusterGraph,
     if (!improved) break;
   }
   result.objectiveAfter = curMax;
+  return result;
+}
+
+}  // namespace
+
+RefineResult refinePlacement(const Torus& topo, const CommGraph& clusterGraph,
+                             std::vector<NodeId>& nodeOfCluster,
+                             const RefineConfig& cfg) {
+  obs::ScopedSpan span(obs::tracer(), "rahtm.refine", "rahtm");
+  span.attr("clusters", static_cast<std::int64_t>(clusterGraph.numRanks()));
+  const RefineResult result = refineImpl(topo, clusterGraph, nodeOfCluster, cfg);
+  span.attr("passes", static_cast<std::int64_t>(result.passes));
+  span.attr("swaps", static_cast<std::int64_t>(result.swapsApplied));
+  span.attr("objective_before", result.objectiveBefore);
+  span.attr("objective_after", result.objectiveAfter);
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    reg->counter("rahtm.refine.passes").add(result.passes);
+    reg->counter("rahtm.refine.swaps").add(result.swapsApplied);
+  }
   return result;
 }
 

@@ -9,6 +9,8 @@
 #include "common/rng.hpp"
 #include "core/milp_mapper.hpp"
 #include "graph/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/evaluator.hpp"
 #include "routing/oblivious.hpp"
 
@@ -48,6 +50,7 @@ SubproblemSolution exhaustiveSearch(const CommGraph& g, const Torus& cube,
       best.objective = val;
       best.vertexOf = placement;
     }
+    ++best.iterations;
   } while (std::next_permutation(nodesPerm.begin(), nodesPerm.end()));
   return best;
 }
@@ -138,6 +141,7 @@ SubproblemSolution annealSearch(const CommGraph& g, const Torus& cube,
       const auto a = static_cast<RankId>(rng.nextBounded(verts));
       auto b = static_cast<RankId>(rng.nextBounded(verts));
       if (a == b) continue;
+      ++best.iterations;
       const double cand = state.trySwap(a, b);
       const double delta = cand - state.objective();
       if (delta <= 0 || rng.nextDouble() < std::exp(-delta / temp)) {
@@ -157,8 +161,11 @@ SubproblemSolution annealSearch(const CommGraph& g, const Torus& cube,
   return best;
 }
 
-SubproblemSolution solveSubproblem(const CommGraph& g, const Torus& cube,
-                                   const SubproblemConfig& cfg) {
+namespace {
+
+/// Portfolio dispatch body (wrapped by solveSubproblem for telemetry).
+SubproblemSolution dispatchSubproblem(const CommGraph& g, const Torus& cube,
+                                      const SubproblemConfig& cfg) {
   const std::int64_t nodes = cube.numNodes();
   if (nodes <= cfg.milpMaxVerts && cfg.objective == MapObjective::Mcl) {
     MilpMapOptions opts;
@@ -169,6 +176,7 @@ SubproblemSolution solveSubproblem(const CommGraph& g, const Torus& cube,
       SubproblemSolution s;
       s.vertexOf = r.vertexOf;
       s.method = "milp";
+      s.iterations = r.nodesExplored;
       // Report the objective under the pipeline's common (oblivious) metric
       // so values are comparable across methods.
       s.objective = evalPlacement(g, cube, r.vertexOf, cfg.objective);
@@ -181,6 +189,24 @@ SubproblemSolution solveSubproblem(const CommGraph& g, const Torus& cube,
     return exhaustiveSearch(g, cube, cfg.objective);
   }
   return annealSearch(g, cube, cfg);
+}
+
+}  // namespace
+
+SubproblemSolution solveSubproblem(const CommGraph& g, const Torus& cube,
+                                   const SubproblemConfig& cfg) {
+  obs::ScopedSpan span(obs::tracer(), "rahtm.subproblem", "rahtm");
+  span.attr("verts", static_cast<std::int64_t>(g.numRanks()));
+  span.attr("cube_nodes", cube.numNodes());
+  SubproblemSolution s = dispatchSubproblem(g, cube, cfg);
+  span.attr("method", s.method);
+  span.attr("iterations", static_cast<std::int64_t>(s.iterations));
+  span.attr("objective", s.objective);
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    reg->counter("rahtm.subproblems").add(1);
+    reg->counter("rahtm.subproblem.method." + s.method).add(1);
+  }
+  return s;
 }
 
 }  // namespace rahtm

@@ -38,6 +38,9 @@ struct SubproblemSolution {
   std::vector<NodeId> vertexOf;  ///< graph vertex -> cube node
   double objective = 0;          ///< achieved objective value
   std::string method;            ///< "milp" / "exhaustive" / "anneal"
+  /// Method-specific work count (telemetry): B&B nodes for "milp",
+  /// placements evaluated for "exhaustive", proposed moves for "anneal".
+  long iterations = 0;
 };
 
 /// Objective value of a placement under the oblivious uniform-minimal model

@@ -1,9 +1,12 @@
 #include "lp/milp.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <queue>
 
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rahtm::lp {
 
@@ -44,6 +47,7 @@ int mostFractional(const Model& model, const std::vector<double>& x,
 }  // namespace
 
 MilpSolution solveMilp(const Model& rootModel, const MilpOptions& opts) {
+  obs::ScopedSpan span(obs::tracer(), "lp.milp.solve", "lp");
   Timer timer;
   MilpSolution result;
   const double minimize =
@@ -66,6 +70,13 @@ MilpSolution solveMilp(const Model& rootModel, const MilpOptions& opts) {
       incumbentObj = obj;
       result.x = x;
       result.hasIncumbent = true;
+      result.incumbentTrail.emplace_back(result.nodesExplored,
+                                         minimize * obj);
+      if (obs::Tracer* t = obs::tracer()) {
+        t->instant("milp.incumbent", "lp",
+                   {{"objective", obs::jsonDouble(minimize * obj)},
+                    {"node", obs::jsonInt(result.nodesExplored)}});
+      }
     }
   };
 
@@ -100,7 +111,17 @@ MilpSolution solveMilp(const Model& rootModel, const MilpOptions& opts) {
     }
 
     if (!emptyDomain) {
-      const LpSolution relax = solveLp(model, opts.simplex);
+      // Give the relaxation only the remaining MILP budget, so one long
+      // LP solve cannot blow through the solver's time limit.
+      SimplexOptions sopts = opts.simplex;
+      if (opts.timeLimitSec > 0) {
+        const double left = opts.timeLimitSec - timer.seconds();
+        sopts.timeLimitSec = sopts.timeLimitSec > 0
+                                 ? std::min(sopts.timeLimitSec, left)
+                                 : left;
+      }
+      const LpSolution relax = solveLp(model, sopts);
+      result.lpPivots += relax.pivots;
       if (relax.status == SolveStatus::IterLimit) {
         // Numerical trouble or iteration exhaustion: the node is dropped
         // but optimality may no longer be claimed.
@@ -169,6 +190,18 @@ MilpSolution solveMilp(const Model& rootModel, const MilpOptions& opts) {
   }
   if (result.hasIncumbent) {
     result.objective = minimize * incumbentObj;
+  }
+  span.attr("status", toString(result.status));
+  span.attr("nodes", static_cast<std::int64_t>(result.nodesExplored));
+  span.attr("lp_pivots", static_cast<std::int64_t>(result.lpPivots));
+  if (result.hasIncumbent) span.attr("objective", result.objective);
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    reg->counter("lp.milp.solves").add(1);
+    reg->counter("lp.milp.nodes").add(result.nodesExplored);
+    reg->counter("lp.milp.incumbents")
+        .add(static_cast<std::int64_t>(result.incumbentTrail.size()));
+    reg->histogram("lp.milp.nodes_per_solve", obs::expBuckets(1, 2, 20))
+        .observe(static_cast<double>(result.nodesExplored));
   }
   return result;
 }

@@ -10,6 +10,8 @@
 /// cut short.
 
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "lp/simplex.hpp"
 
@@ -39,6 +41,10 @@ struct MilpSolution {
   bool hasIncumbent = false;
   std::vector<double> x;       ///< incumbent point
   long nodesExplored = 0;
+  long lpPivots = 0;           ///< simplex pivots across all relaxations
+  /// Incumbent trajectory: (nodes explored when found, objective), in
+  /// discovery order. The last entry is the returned incumbent.
+  std::vector<std::pair<long, double>> incumbentTrail;
 };
 
 /// Solve \p model to optimality or budget exhaustion.

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
 
 namespace rahtm::lp {
 
@@ -36,6 +38,12 @@ class Simplex {
 
   LpSolution run() {
     LpSolution out;
+    struct PivotExport {
+      // Export the pivot count on every return path.
+      const Simplex& s;
+      LpSolution& o;
+      ~PivotExport() { o.pivots = s.pivots_; }
+    } pivotExport{*this, out};
     // ---- Phase 1: minimize sum of artificials ----
     setPhase1Costs();
     if (!refactorize()) {
@@ -291,6 +299,10 @@ class Simplex {
     int sincePivot = 0;
     double lastObj = phaseObjective();
     for (long iter = 0; iter < maxIters; ++iter) {
+      if (opts_.timeLimitSec > 0 && (iter & 63) == 0 &&
+          timer_.seconds() > opts_.timeLimitSec) {
+        return SolveStatus::IterLimit;
+      }
       const bool bland = stall > 2L * m_ + 50;
       const int enter = chooseEntering(bland);
       if (enter < 0) return SolveStatus::Optimal;
@@ -333,6 +345,7 @@ class Simplex {
         applyBoundFlip(enter, sigma, tMax);
       } else {
         applyPivot(enter, sigma, tMax, leaveRow, leaveBound);
+        ++pivots_;
         if (++sincePivot >= opts_.refactorEvery) {
           if (!refactorize()) return SolveStatus::IterLimit;
           sincePivot = 0;
@@ -444,9 +457,25 @@ class Simplex {
   std::vector<int> basis_;
   std::vector<ColState> state_;
   bool phase1_ = true;
+  long pivots_ = 0;
+  Timer timer_;  ///< started at construction; enforces timeLimitSec
 
   mutable std::vector<double> colBuf_;
 };
+
+}  // namespace
+
+namespace {
+
+/// One metrics touch per solve — never per pivot.
+void recordSolve(const LpSolution& out) {
+  obs::MetricsRegistry* reg = obs::metrics();
+  if (reg == nullptr) return;
+  reg->counter("lp.simplex.solves").add(1);
+  reg->counter("lp.simplex.pivots").add(out.pivots);
+  reg->histogram("lp.simplex.pivots_per_solve", obs::expBuckets(1, 2, 20))
+      .observe(static_cast<double>(out.pivots));
+}
 
 }  // namespace
 
@@ -465,6 +494,7 @@ LpSolution solveLp(const Model& model, const SimplexOptions& opts) {
       } else if (c < 0) {
         if (!std::isfinite(v.ub)) {
           out.status = SolveStatus::Unbounded;
+          recordSolve(out);
           return out;
         }
         out.x[j] = v.ub;
@@ -473,10 +503,13 @@ LpSolution solveLp(const Model& model, const SimplexOptions& opts) {
       }
     }
     out.objective = model.objectiveValue(out.x);
+    recordSolve(out);
     return out;
   }
   Simplex s(model, opts);
-  return s.run();
+  LpSolution out = s.run();
+  recordSolve(out);
+  return out;
 }
 
 }  // namespace rahtm::lp

@@ -37,12 +37,17 @@ struct LpSolution {
   SolveStatus status = SolveStatus::IterLimit;
   double objective = 0;
   std::vector<double> x;  ///< values of the model's variables
+  long pivots = 0;        ///< basis changes across both phases
 };
 
 struct SimplexOptions {
   double tol = 1e-8;          ///< feasibility / pricing tolerance
   long maxIterations = -1;    ///< -1: automatic (scales with model size)
   int refactorEvery = 128;    ///< rebuild the tableau every N pivots
+  /// Wall-clock budget for one solve in seconds (<= 0: none). Checked
+  /// periodically inside the pivot loop; exhaustion returns IterLimit —
+  /// this is how the MILP's time limit interrupts a long relaxation.
+  double timeLimitSec = -1;
 };
 
 /// Solve the continuous relaxation of \p model (integrality is ignored).

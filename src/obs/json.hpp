@@ -1,0 +1,59 @@
+#pragma once
+/// \file json.hpp
+/// Tiny JSON *encoding* helpers shared by the tracer and the metrics
+/// registry. Values are produced as ready-to-embed JSON literals so event
+/// attributes can be stored pre-encoded (no variant machinery on the hot
+/// path). There is deliberately no parser here — consumers are Perfetto /
+/// chrome://tracing and scripts; the test suite carries its own parser to
+/// validate well-formedness from the outside.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace rahtm::obs {
+
+/// Escape a string into a quoted JSON string literal.
+inline std::string jsonString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Integer JSON literal.
+inline std::string jsonInt(std::int64_t v) { return std::to_string(v); }
+
+/// Floating-point JSON literal. JSON has no inf/nan, so encode those as
+/// strings (the convention Perfetto tolerates and scripts can detect).
+inline std::string jsonDouble(double v) {
+  if (!std::isfinite(v)) {
+    return v > 0 ? "\"inf\"" : (v < 0 ? "\"-inf\"" : "\"nan\"");
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+inline std::string jsonBool(bool v) { return v ? "true" : "false"; }
+
+}  // namespace rahtm::obs

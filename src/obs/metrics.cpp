@@ -1,0 +1,155 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace rahtm::obs {
+
+namespace {
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+
+/// Relaxed CAS-min/max on an atomic double.
+void atomicMin(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+void atomicMax(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
+MetricsRegistry* metrics() { return g_metrics.load(std::memory_order_acquire); }
+void setMetrics(MetricsRegistry* m) {
+  g_metrics.store(m, std::memory_order_release);
+}
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : bounds_(std::move(upperBounds)) {
+  RAHTM_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                    std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                        bounds_.end(),
+                "Histogram: bounds must be strictly increasing");
+  counts_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::observe(double v) {
+  // First bucket whose upper bound admits v (<=); past the end: overflow.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+  atomicMin(min_, v);
+  atomicMax(max_, v);
+}
+
+std::vector<std::int64_t> Histogram::bucketCounts() const {
+  std::vector<std::int64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> expBuckets(double first, double factor, int count) {
+  RAHTM_REQUIRE(first > 0 && factor > 1 && count > 0,
+                "expBuckets: need first > 0, factor > 1, count > 0");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(count));
+  double v = first;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(v);
+    v *= factor;
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upperBounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upperBounds));
+  return *slot;
+}
+
+const Counter* MetricsRegistry::findCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::findHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::writeJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << jsonString(name) << ":" << c->value();
+  }
+  os << "\n},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << jsonString(name) << ":" << jsonDouble(g->value());
+  }
+  os << "\n},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << jsonString(name) << ":{\"count\":" << h->count()
+       << ",\"sum\":" << jsonDouble(h->sum());
+    if (h->count() > 0) {
+      os << ",\"min\":" << jsonDouble(h->min())
+         << ",\"max\":" << jsonDouble(h->max());
+    }
+    os << ",\"buckets\":[";
+    const std::vector<std::int64_t> counts = h->bucketCounts();
+    const std::vector<double>& bounds = h->bounds();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i != 0) os << ",";
+      os << "{\"le\":"
+         << (i < bounds.size() ? jsonDouble(bounds[i]) : "\"inf\"")
+         << ",\"count\":" << counts[i] << "}";
+    }
+    os << "]}";
+  }
+  os << "\n}}\n";
+}
+
+}  // namespace rahtm::obs

@@ -1,0 +1,72 @@
+#pragma once
+/// \file telemetry.hpp
+/// Process-level telemetry session: owns a Tracer and/or MetricsRegistry,
+/// installs them as the process globals, and dumps them to files on flush
+/// (or destruction). This is the one-stop entry point the CLI tool and the
+/// benchmark harnesses use:
+///
+///   obs::TelemetrySession session(obs::telemetryConfigFromEnv());
+///   ... run the pipeline / simulator ...
+///   // ~TelemetrySession writes the files and uninstalls the globals.
+///
+/// Environment variables (honored by telemetryConfigFromEnv):
+///   RAHTM_TRACE_OUT    = path for Chrome trace_event JSON
+///   RAHTM_TRACE_SUMMARY= path for the flat span-summary JSON
+///   RAHTM_METRICS_OUT  = path for the metrics snapshot JSON
+///
+/// The metric name catalog (see DESIGN.md "Observability") is
+/// pre-registered on session start so a metrics file always carries every
+/// standard series, even those a particular run never touched.
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rahtm::obs {
+
+struct TelemetryConfig {
+  std::string traceOutPath;     ///< Chrome trace JSON ("" = tracing off)
+  std::string traceSummaryPath; ///< flat summary JSON (needs tracing on)
+  std::string metricsOutPath;   ///< metrics JSON ("" = metrics off)
+
+  bool tracingEnabled() const {
+    return !traceOutPath.empty() || !traceSummaryPath.empty();
+  }
+  bool metricsEnabled() const { return !metricsOutPath.empty(); }
+  bool enabled() const { return tracingEnabled() || metricsEnabled(); }
+};
+
+/// Read RAHTM_TRACE_OUT / RAHTM_TRACE_SUMMARY / RAHTM_METRICS_OUT.
+TelemetryConfig telemetryConfigFromEnv();
+
+/// Register the standard metric series (counters and histograms with their
+/// canonical bucket layouts) so snapshots always contain the full catalog.
+void registerStandardMetrics(MetricsRegistry& registry);
+
+class TelemetrySession {
+ public:
+  /// Installs the globals for every enabled facility. A disabled config
+  /// constructs an inert session (enabled() == false, null accessors).
+  explicit TelemetrySession(TelemetryConfig config);
+  /// flush() + uninstall.
+  ~TelemetrySession();
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+  bool enabled() const { return cfg_.enabled(); }
+  Tracer* tracer() { return tracer_.get(); }
+  MetricsRegistry* metrics() { return metrics_.get(); }
+
+  /// Write every configured output file (rewrites on repeat calls).
+  /// Throws rahtm::Error if a file cannot be written.
+  void flush();
+
+ private:
+  TelemetryConfig cfg_;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+};
+
+}  // namespace rahtm::obs

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rahtm::simnet {
 
@@ -71,17 +74,38 @@ class IterationSim {
     }
     slots_ = slots;
     nodes_ = nodes;
+    // Telemetry hooks are resolved once here: sampling inside step() must
+    // not pay the registry lookup per cycle.
+    if (obs::MetricsRegistry* reg = obs::metrics()) {
+      hQueue_ = &reg->histogram("simnet.link_queue_flits",
+                                obs::expBuckets(1, 2, 16));
+      hChan_ = &reg->histogram("simnet.link_channel_flits",
+                               obs::expBuckets(16, 2, 24));
+    }
   }
 
   PhaseResult run(const std::vector<Phase>& stages) {
+    obs::ScopedSpan span(obs::tracer(), "simnet.run", "simnet");
+    span.attr("stages", static_cast<std::int64_t>(stages.size()));
     loadStages(stages);
     PhaseResult result;
     std::int64_t cycle = 0;
-    while (remaining_ > 0) {
-      RAHTM_REQUIRE(cycle < cfg_.maxCycles,
-                    "simulate: cycle guard exceeded (livelock?)");
-      step(cycle);
-      ++cycle;
+    if (hQueue_ != nullptr && cfg_.statSampleCycles > 0) {
+      while (remaining_ > 0) {
+        RAHTM_REQUIRE(cycle < cfg_.maxCycles,
+                      "simulate: cycle guard exceeded (livelock?)");
+        if (cycle % cfg_.statSampleCycles == 0) sampleQueueOccupancy();
+        step(cycle);
+        ++cycle;
+      }
+    } else {
+      // Telemetry off: keep the hot loop free of sampling branches.
+      while (remaining_ > 0) {
+        RAHTM_REQUIRE(cycle < cfg_.maxCycles,
+                      "simulate: cycle guard exceeded (livelock?)");
+        step(cycle);
+        ++cycle;
+      }
     }
     result.cycles = cycle;
     result.networkFlits = networkFlits_;
@@ -90,15 +114,34 @@ class IterationSim {
     double maxCh = 0;
     double sumCh = 0;
     std::int64_t validCh = 0;
+    result.dimFlits.assign(topo_.ndims(), 0.0);
     for (std::size_t i = 0; i < slots_; ++i) {
       const Queue& q = queues_[i];
       if (q.linkDst == kInvalidNode) continue;
       ++validCh;
       sumCh += static_cast<double>(q.flitsCarried);
       maxCh = std::max(maxCh, static_cast<double>(q.flitsCarried));
+      // Channel ids are laid out (node * ndims + dim) * 2 + dir.
+      result.dimFlits[(i >> 1) % topo_.ndims()] +=
+          static_cast<double>(q.flitsCarried);
+      if (hChan_) hChan_->observe(static_cast<double>(q.flitsCarried));
     }
     result.maxChannelFlits = maxCh;
     result.avgChannelFlits = validCh ? sumCh / static_cast<double>(validCh) : 0;
+    span.attr("cycles", result.cycles);
+    span.attr("network_flits", result.networkFlits);
+    span.attr("max_channel_flits", result.maxChannelFlits);
+    if (obs::MetricsRegistry* reg = obs::metrics()) {
+      reg->counter("simnet.runs").add(1);
+      reg->counter("simnet.cycles").add(result.cycles);
+      reg->counter("simnet.network_flits").add(result.networkFlits);
+      reg->counter("simnet.local_flits").add(result.localFlits);
+      reg->counter("simnet.flit_hops").add(result.flitHops);
+      for (std::size_t d = 0; d < result.dimFlits.size(); ++d) {
+        reg->gauge("simnet.dim_flits." + std::to_string(d))
+            .set(result.dimFlits[d]);
+      }
+    }
     return result;
   }
 
@@ -273,6 +316,15 @@ class IterationSim {
     }
   }
 
+  /// Observe the occupancy of every valid link queue (telemetry sample).
+  void sampleQueueOccupancy() {
+    for (std::size_t i = 0; i < slots_; ++i) {
+      const Queue& q = queues_[i];
+      if (q.linkDst == kInvalidNode) continue;
+      hQueue_->observe(static_cast<double>(q.flitsQueued));
+    }
+  }
+
   void step(std::int64_t cycle) {
     // Snapshot: queues activated during this cycle start next cycle.
     const std::size_t activeCount = active_.size();
@@ -353,6 +405,10 @@ class IterationSim {
   std::int64_t networkFlits_ = 0;
   std::int64_t localFlits_ = 0;
   std::int64_t flitHops_ = 0;
+
+  // Telemetry (null when no metrics registry is installed).
+  obs::Histogram* hQueue_ = nullptr;
+  obs::Histogram* hChan_ = nullptr;
 };
 
 }  // namespace

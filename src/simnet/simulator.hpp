@@ -19,6 +19,7 @@
 ///    adaptivity senses congestion through queue occupancy).
 
 #include <cstdint>
+#include <vector>
 
 #include "mapping/mapping.hpp"
 #include "simnet/message.hpp"
@@ -50,6 +51,11 @@ struct SimConfig {
   RoutingMode routing = RoutingMode::MinimalAdaptive;
   std::uint64_t seed = 0xbadc0ffee;     ///< adaptive tie-break randomness
   std::int64_t maxCycles = 500'000'000; ///< safety guard
+  /// Telemetry sampling period: every this many cycles, the occupancy of
+  /// each valid link queue is observed into the
+  /// "simnet.link_queue_flits" histogram. Only active when a metrics
+  /// registry is installed (obs::setMetrics); zero disables sampling.
+  std::int64_t statSampleCycles = 1024;
 };
 
 struct PhaseResult {
@@ -59,6 +65,9 @@ struct PhaseResult {
   std::int64_t flitHops = 0;      ///< total link traversals
   double maxChannelFlits = 0;     ///< busiest link's traffic (measured MCL)
   double avgChannelFlits = 0;     ///< mean traffic over valid links
+  /// Link traffic summed per torus dimension (dimFlits[d] is the total
+  /// flit-hops carried by dimension-d links) — the final load distribution.
+  std::vector<double> dimFlits;
 };
 
 /// Simulate one communication phase to completion.

@@ -7,6 +7,7 @@
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/math.hpp"
 #include "common/rng.hpp"
 #include "common/small_vec.hpp"
@@ -203,6 +204,29 @@ TEST(Cli, MalformedBooleanThrows) {
   const char* argv[] = {"prog", "--b=banana"};
   CliArgs args(2, argv);
   EXPECT_THROW(args.getBool("b"), ParseError);
+}
+
+// Compile-level check that RAHTM_LOG expands to a single complete
+// statement: inside an unbraced if/else, the else must attach to the
+// *outer* if. With the old `if (enabled) stream` expansion this else
+// bound to the macro's hidden if and the branch flipped.
+TEST(Log, MacroIsDanglingElseSafe) {
+  bool tookElse = false;
+  if (false)
+    RAHTM_LOG(Error) << "never printed";
+  else
+    tookElse = true;
+  EXPECT_TRUE(tookElse);
+
+  // And the degenerate single-statement form still compiles.
+  if (true) RAHTM_LOG(Debug) << "below threshold, dropped";
+}
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevel before = logLevel();
+  setLogLevel(LogLevel::Error);
+  EXPECT_EQ(logLevel(), LogLevel::Error);
+  setLogLevel(before);
 }
 
 }  // namespace

@@ -1,0 +1,480 @@
+// Tests for the observability subsystem (src/obs/): tracer span
+// nesting/serialization, atomic metrics under concurrency, JSON
+// well-formedness of every output format (checked by parsing the files
+// back with a small JSON reader), and an end-to-end pipeline smoke test
+// asserting that RahtmStats agrees with the captured trace.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/rahtm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "simnet/simulator.hpp"
+#include "topology/torus.hpp"
+#include "workloads/workload.hpp"
+
+namespace rahtm {
+namespace {
+
+// ---- Minimal JSON reader (enough for the obs output formats) -------------
+
+struct Json {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind =
+      Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;
+
+  const Json* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  const Json& at(const std::string& key) const {
+    const Json* v = find(key);
+    if (v == nullptr) throw std::runtime_error("missing key: " + key);
+    return *v;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("JSON parse error at " + std::to_string(pos_) +
+                             ": " + why);
+  }
+  void ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      Json v;
+      v.kind = Json::Kind::String;
+      v.str = string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') {
+      literal("null");
+      return Json{};
+    }
+    return number();
+  }
+
+  void literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) fail("bad literal");
+      ++pos_;
+    }
+  }
+
+  Json boolean() {
+    Json v;
+    v.kind = Json::Kind::Bool;
+    if (peek() == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+    }
+    return v;
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    Json v;
+    v.kind = Json::Kind::Number;
+    v.number = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+            out += '?';  // code point value is irrelevant for these tests
+            pos_ += 4;
+            break;
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Json array() {
+    expect('[');
+    Json v;
+    v.kind = Json::Kind::Array;
+    ws();
+    if (consume(']')) return v;
+    while (true) {
+      v.array.push_back(value());
+      ws();
+      if (consume(']')) break;
+      expect(',');
+    }
+    return v;
+  }
+
+  Json object() {
+    expect('{');
+    Json v;
+    v.kind = Json::Kind::Object;
+    ws();
+    if (consume('}')) return v;
+    while (true) {
+      ws();
+      std::string key = string();
+      ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      ws();
+      if (consume('}')) break;
+      expect(',');
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+Json parseJson(const std::string& text) { return JsonParser(text).parse(); }
+
+Json parseFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parseJson(ss.str());
+}
+
+// ---- Tracer ---------------------------------------------------------------
+
+TEST(Tracer, SpanNestingAndOrdering) {
+  obs::Tracer tracer;
+  const obs::SpanId outer = tracer.beginSpan("outer", "test");
+  const obs::SpanId inner = tracer.beginSpan("inner", "test");
+  tracer.endSpan(inner);
+  tracer.instant("tick", "test");
+  const std::int64_t outerUs = tracer.endSpan(outer);
+  EXPECT_GE(outerUs, 0);
+
+  const std::vector<obs::TraceEvent> events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  const obs::TraceEvent& o = events[0];
+  const obs::TraceEvent& i = events[1];
+  const obs::TraceEvent& t = events[2];
+  EXPECT_EQ(o.name, "outer");
+  EXPECT_EQ(i.name, "inner");
+  EXPECT_TRUE(t.instant());
+  EXPECT_FALSE(o.open());
+  EXPECT_FALSE(i.open());
+  // The inner span nests inside the outer one.
+  EXPECT_GE(i.startUs, o.startUs);
+  EXPECT_LE(i.startUs + i.durUs, o.startUs + o.durUs);
+  // Both ran on this thread, which must have the first dense tag.
+  EXPECT_EQ(o.tid, 0u);
+  EXPECT_EQ(i.tid, 0u);
+}
+
+TEST(Tracer, SnapshotClosesOpenSpans) {
+  obs::Tracer tracer;
+  tracer.beginSpan("open", "test");
+  const std::vector<obs::TraceEvent> events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].open());
+  EXPECT_GE(events[0].durUs, 0);
+}
+
+TEST(ScopedSpan, ToleratesNullTracerAndIsIdempotent) {
+  obs::ScopedSpan span(nullptr, "nothing", "test");
+  span.attr("k", std::int64_t{1});  // must be a no-op, not a crash
+  const double first = span.close();
+  EXPECT_GE(first, 0.0);
+  EXPECT_EQ(span.close(), first);  // close() is idempotent
+  EXPECT_EQ(span.seconds(), first);
+}
+
+TEST(Tracer, ChromeTraceParsesBack) {
+  obs::Tracer tracer;
+  const obs::SpanId s = tracer.beginSpan("phase \"x\"\n", "cat");
+  tracer.attr(s, "count", obs::jsonInt(42));
+  tracer.attr(s, "label", obs::jsonString("a\\b"));
+  tracer.endSpan(s);
+  tracer.instant("marker", "cat", {{"v", obs::jsonDouble(1.5)}});
+
+  std::ostringstream os;
+  tracer.writeChromeTrace(os);
+  const Json doc = parseJson(os.str());
+  const Json& events = doc.at("traceEvents");
+  ASSERT_EQ(events.kind, Json::Kind::Array);
+  ASSERT_EQ(events.array.size(), 2u);
+
+  const Json& span = events.array[0];
+  EXPECT_EQ(span.at("ph").str, "X");
+  EXPECT_EQ(span.at("name").str, "phase \"x\"\n");  // escaping round-trips
+  EXPECT_EQ(span.at("cat").str, "cat");
+  EXPECT_GE(span.at("dur").number, 0);
+  EXPECT_EQ(span.at("args").at("count").number, 42);
+  EXPECT_EQ(span.at("args").at("label").str, "a\\b");
+
+  const Json& inst = events.array[1];
+  EXPECT_EQ(inst.at("ph").str, "i");
+  EXPECT_EQ(inst.at("name").str, "marker");
+  EXPECT_EQ(inst.at("args").at("v").number, 1.5);
+}
+
+TEST(Tracer, SummaryAggregatesPerName) {
+  obs::Tracer tracer;
+  tracer.endSpan(tracer.beginSpan("work", "t"));
+  tracer.endSpan(tracer.beginSpan("work", "t"));
+  tracer.instant("tick", "t");
+
+  std::ostringstream os;
+  tracer.writeSummary(os);
+  const Json doc = parseJson(os.str());
+  const Json& work = doc.at("spans").at("work");
+  EXPECT_EQ(work.at("count").number, 2);
+  EXPECT_GE(work.at("total_us").number, work.at("max_us").number);
+  EXPECT_EQ(doc.at("instants").at("tick").at("count").number, 1);
+}
+
+// ---- Metrics --------------------------------------------------------------
+
+TEST(Metrics, CounterAndHistogramUnderConcurrency) {
+  obs::MetricsRegistry reg;
+  obs::Counter& counter = reg.counter("c");
+  obs::Histogram& hist = reg.histogram("h", {1.0, 2.0, 4.0});
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 24000;  // divisible by 6 (values cycle 0..5)
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter, &hist] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add(1);
+        hist.observe(static_cast<double>(i % 6));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  EXPECT_EQ(hist.count(), kThreads * kPerThread);
+  EXPECT_EQ(hist.min(), 0.0);
+  EXPECT_EQ(hist.max(), 5.0);
+
+  // Values 0..5 uniformly: 0,1 -> le=1; 2 -> le=2; 3,4 -> le=4; 5 -> inf.
+  const std::vector<std::int64_t> buckets = hist.bucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);
+  const std::int64_t per = kThreads * kPerThread / 6;
+  EXPECT_EQ(buckets[0], 2 * per);
+  EXPECT_EQ(buckets[1], per);
+  EXPECT_EQ(buckets[2], 2 * per);
+  EXPECT_EQ(buckets[3], per);
+}
+
+TEST(Metrics, RegistryReturnsStableRefsAndParsesBack) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("x");
+  obs::Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  reg.gauge("g").set(2.5);
+  reg.histogram("h", obs::expBuckets(1, 2, 3)).observe(100.0);  // overflow
+
+  std::ostringstream os;
+  reg.writeJson(os);
+  const Json doc = parseJson(os.str());
+  EXPECT_EQ(doc.at("counters").at("x").number, 3);
+  EXPECT_EQ(doc.at("gauges").at("g").number, 2.5);
+  const Json& h = doc.at("histograms").at("h");
+  EXPECT_EQ(h.at("count").number, 1);
+  const Json& buckets = h.at("buckets");
+  ASSERT_EQ(buckets.array.size(), 4u);  // 1, 2, 4, inf
+  EXPECT_EQ(buckets.array.back().at("le").str, "inf");
+  EXPECT_EQ(buckets.array.back().at("count").number, 1);
+}
+
+TEST(Metrics, ExpBuckets) {
+  const std::vector<double> b = obs::expBuckets(1, 2, 4);
+  EXPECT_EQ(b, (std::vector<double>{1, 2, 4, 8}));
+}
+
+// ---- End-to-end pipeline smoke test ---------------------------------------
+
+TEST(Telemetry, PipelineProducesConsistentTraceAndMetrics) {
+  const std::string tracePath = "test_obs_trace.json";
+  const std::string summaryPath = "test_obs_summary.json";
+  const std::string metricsPath = "test_obs_metrics.json";
+
+  RahtmStats stats;
+  {
+    obs::TelemetryConfig cfg;
+    cfg.traceOutPath = tracePath;
+    cfg.traceSummaryPath = summaryPath;
+    cfg.metricsOutPath = metricsPath;
+    obs::TelemetrySession session(cfg);
+    ASSERT_TRUE(session.enabled());
+    ASSERT_EQ(obs::tracer(), session.tracer());
+    ASSERT_EQ(obs::metrics(), session.metrics());
+
+    const Torus machine = Torus::torus(Shape{2, 2, 2});
+    const Workload w = makeNasByName("CG", 16, {});
+
+    RahtmConfig cfg2;
+    cfg2.logicalGrid = w.logicalGrid;
+    // Force the exact MILP onto the single 8-node leaf cube, with a small
+    // budget so the test stays fast (budget exhaustion still explores at
+    // least the root node).
+    cfg2.subproblem.milpMaxVerts = 8;
+    cfg2.subproblem.milpTimeLimitSec = 0.5;
+    RahtmMapper mapper(cfg2);
+    const Mapping mapping = mapper.mapWorkload(w, machine, 2);
+    stats = mapper.stats();
+
+    simnet::SimConfig sim;
+    sim.statSampleCycles = 16;
+    simnet::simulateIteration(machine, mapping, w.phases, sim);
+
+    session.flush();
+  }
+  // Session destroyed: the globals must be uninstalled.
+  EXPECT_EQ(obs::tracer(), nullptr);
+  EXPECT_EQ(obs::metrics(), nullptr);
+
+  // -- Chrome trace: one span per pipeline phase, solver spans with attrs --
+  const Json trace = parseFile(tracePath);
+  std::map<std::string, int> spanCount;
+  std::int64_t mapDurUs = -1;
+  double phaseDurSumUs = 0;
+  for (const Json& e : trace.at("traceEvents").array) {
+    if (e.at("ph").str != "X") continue;
+    const std::string& name = e.at("name").str;
+    ++spanCount[name];
+    if (name == "rahtm.map") mapDurUs = static_cast<std::int64_t>(e.at("dur").number);
+    if (name.rfind("rahtm.phase.", 0) == 0) phaseDurSumUs += e.at("dur").number;
+    if (name == "rahtm.subproblem") {
+      const Json& args = e.at("args");
+      EXPECT_FALSE(args.at("method").str.empty());
+      EXPECT_GE(args.at("iterations").number, 1);
+    }
+  }
+  for (const char* phase : {"rahtm.phase.cluster", "rahtm.phase.pin",
+                            "rahtm.phase.merge", "rahtm.phase.refine"}) {
+    EXPECT_EQ(spanCount[phase], 1) << phase;
+  }
+  EXPECT_GE(spanCount["rahtm.subproblem"], 1);
+  EXPECT_GE(spanCount["lp.milp.solve"], 1);
+  EXPECT_EQ(spanCount["simnet.run"], 1);
+
+  // -- RahtmStats is derived from the same spans: totals must agree --------
+  ASSERT_GE(mapDurUs, 0);
+  EXPECT_NEAR(stats.totalSeconds * 1e6, static_cast<double>(mapDurUs), 1.0);
+  const double statPhaseSumUs = (stats.clusterSeconds + stats.pinSeconds +
+                                 stats.mergeSeconds + stats.refineSeconds) *
+                                1e6;
+  EXPECT_NEAR(statPhaseSumUs, phaseDurSumUs, 4.0);
+  // Phases cover nearly all of the total mapping time.
+  EXPECT_LE(phaseDurSumUs, static_cast<double>(mapDurUs) * 1.01 + 10);
+
+  // -- Summary parses and counts the phases --------------------------------
+  const Json summary = parseFile(summaryPath);
+  EXPECT_EQ(summary.at("spans").at("rahtm.map").at("count").number, 1);
+
+  // -- Metrics: solver and simulator series are populated ------------------
+  const Json metrics = parseFile(metricsPath);
+  const Json& counters = metrics.at("counters");
+  EXPECT_GE(counters.at("lp.simplex.pivots").number, 1);
+  EXPECT_GE(counters.at("lp.milp.nodes").number, 1);
+  EXPECT_GE(counters.at("rahtm.subproblems").number, 1);
+  EXPECT_GE(counters.at("rahtm.merge.candidates").number, 1);
+  EXPECT_GE(counters.at("simnet.cycles").number, 1);
+  const Json& hists = metrics.at("histograms");
+  EXPECT_GE(hists.at("simnet.link_queue_flits").at("count").number, 1);
+  EXPECT_GE(hists.at("simnet.link_channel_flits").at("count").number, 1);
+  EXPECT_GE(hists.at("lp.simplex.pivots_per_solve").at("count").number, 1);
+  // The standard catalog is pre-registered, so untouched series exist too.
+  EXPECT_NE(counters.find("simnet.local_flits"), nullptr);
+
+  std::remove(tracePath.c_str());
+  std::remove(summaryPath.c_str());
+  std::remove(metricsPath.c_str());
+}
+
+}  // namespace
+}  // namespace rahtm

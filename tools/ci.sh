@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI driver: build and run the test suite twice — an optimized Release
+# configuration, then an ASan/UBSan configuration (RAHTM_SANITIZE, see the
+# top-level CMakeLists.txt). Run from anywhere; build trees live under the
+# repo root as build-ci-release/ and build-ci-sanitize/.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1"; shift
+  local dir="$repo/build-ci-$name"
+  echo "==== [$name] configure"
+  cmake -B "$dir" -S "$repo" "$@"
+  echo "==== [$name] build"
+  cmake --build "$dir" -j "$jobs"
+  echo "==== [$name] ctest"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+run_config release -DCMAKE_BUILD_TYPE=Release
+run_config sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRAHTM_SANITIZE=address,undefined
+
+echo "==== CI passed (release + sanitize)"

@@ -29,8 +29,10 @@
 #include "mapping/mapfile.hpp"
 #include "mapping/permutation.hpp"
 #include "mapping/rubik.hpp"
+#include "obs/telemetry.hpp"
 #include "profile/profile.hpp"
 #include "routing/oblivious.hpp"
+#include "simnet/simulator.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
@@ -51,8 +53,18 @@ int usage(const char* argv0) {
       << "          (--benchmark BT|SP|CG | --profile FILE [--grid AxB])\n"
       << "          [--out mapfile] [--mapper rahtm|abcdet|hilbert|rht|"
          "greedy|rcb|random]\n"
-      << "          [--bytes N] [--beam N] [--no-merge] [--no-refine] "
-         "[--verbose]\n";
+      << "          [--bytes N] [--beam N] [--leaf-milp N] [--no-merge] "
+         "[--no-refine] [--verbose]\n"
+      << "          [--trace-out FILE] [--trace-summary FILE] "
+         "[--metrics-out FILE]\n"
+      << "\n"
+      << "Telemetry: --trace-out writes a Chrome trace_event JSON (load it\n"
+      << "in Perfetto / chrome://tracing), --metrics-out a counter/histogram\n"
+      << "snapshot. When telemetry is on, the finished mapping is also run\n"
+      << "through the network simulator so the metrics include measured\n"
+      << "per-link load. The RAHTM_TRACE_OUT / RAHTM_TRACE_SUMMARY /\n"
+      << "RAHTM_METRICS_OUT environment variables are fallbacks for the\n"
+      << "flags.\n";
   return 2;
 }
 
@@ -64,6 +76,19 @@ int main(int argc, char** argv) {
     if (args.has("help") || !args.has("machine")) return usage(argv[0]);
     if (args.getBool("verbose")) setLogLevel(LogLevel::Info);
 
+    // ---- Telemetry session (flags override the environment) --------------
+    obs::TelemetryConfig tele = obs::telemetryConfigFromEnv();
+    if (args.has("trace-out")) {
+      tele.traceOutPath = args.getString("trace-out", "");
+    }
+    if (args.has("trace-summary")) {
+      tele.traceSummaryPath = args.getString("trace-summary", "");
+    }
+    if (args.has("metrics-out")) {
+      tele.metricsOutPath = args.getString("metrics-out", "");
+    }
+    obs::TelemetrySession telemetry(tele);
+
     const Torus machine = Torus::torus(parseShape(args.getString("machine", "")));
     const int concentration =
         static_cast<int>(args.getInt("concentration", 1));
@@ -73,6 +98,7 @@ int main(int argc, char** argv) {
     // ---- Input: profile file or named synthetic workload -----------------
     CommGraph graph;
     Shape grid;
+    std::vector<simnet::Phase> simStages;
     if (args.has("profile")) {
       std::ifstream in(args.getString("profile", ""));
       if (!in) {
@@ -94,6 +120,16 @@ int main(int argc, char** argv) {
           makeNasByName(args.getString("benchmark", "CG"), ranks, params);
       graph = w.commGraph();
       grid = w.logicalGrid;
+      simStages = w.phases;
+    }
+    if (telemetry.enabled() && simStages.empty()) {
+      // Profile input carries no per-stage structure: simulate the
+      // aggregate communication matrix as one phase.
+      simnet::Phase all;
+      for (const Flow& f : graph.flows()) {
+        all.push_back({f.src, f.dst, static_cast<std::int64_t>(f.bytes)});
+      }
+      simStages.push_back(std::move(all));
     }
 
     // ---- Mapper selection -------------------------------------------------
@@ -105,6 +141,10 @@ int main(int argc, char** argv) {
       cfg.merge.beamWidth = static_cast<int>(args.getInt("beam", 64));
       cfg.enableMerge = !args.getBool("no-merge");
       cfg.finalRefinement = !args.getBool("no-refine");
+      // The offline tool defaults to the paper's exact MILP on every leaf
+      // cube it can reach (the library default is tuned for test speed).
+      cfg.subproblem.milpMaxVerts =
+          static_cast<int>(args.getInt("leaf-milp", 8));
       mapper = std::make_unique<RahtmMapper>(cfg);
     } else if (which == "abcdet") {
       mapper = std::make_unique<DefaultMapper>();
@@ -151,6 +191,23 @@ int main(int argc, char** argv) {
     }
     writeMapfile(out, mapping, machine);
     std::cerr << "  wrote " << outPath << "\n";
+
+    // ---- Telemetry: measure the mapping in the simulator, dump files ------
+    if (telemetry.enabled()) {
+      simnet::SimConfig sim;
+      sim.injectionBandwidth = 8;
+      const simnet::PhaseResult r =
+          simnet::simulateIteration(machine, mapping, simStages, sim);
+      std::cerr << "  simulated iteration: " << r.cycles << " cycles, max "
+                << r.maxChannelFlits << " flits on the busiest link\n";
+      telemetry.flush();
+      if (!tele.traceOutPath.empty()) {
+        std::cerr << "  wrote " << tele.traceOutPath << "\n";
+      }
+      if (!tele.metricsOutPath.empty()) {
+        std::cerr << "  wrote " << tele.metricsOutPath << "\n";
+      }
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
