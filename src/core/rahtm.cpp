@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/trace.hpp"
 #include "routing/evaluator.hpp"
 
@@ -91,25 +92,44 @@ struct Pipeline {
     }
   }
 
-  /// Phase 2: top-down pseudo-pinning (§III-C).
-  void pin(int k, ClusterId x) {
-    if (k == L) return;
-    const auto& children = childrenOf[static_cast<std::size_t>(k)]
-                                     [static_cast<std::size_t>(x)];
-    const Torus cube = hierarchy.clusterTopology(k);
-    RAHTM_REQUIRE(static_cast<std::int64_t>(children.size()) == cube.numNodes(),
-                  "RAHTM pin: child count != cube size");
-    const CommGraph sibling =
-        restrictGraph(*graphs[static_cast<std::size_t>(k + 1)], children);
-    const SubproblemSolution sol =
-        solveSubproblem(sibling, cube, cfg.subproblem);
-    ++stats->subproblemsSolved;
-    ++stats->solverMethodCounts[sol.method];
-    for (std::size_t i = 0; i < children.size(); ++i) {
-      pinSlot[static_cast<std::size_t>(k + 1)]
-             [static_cast<std::size_t>(children[i])] =
-                 cube.coordOf(sol.vertexOf[i]);
-      pin(k + 1, children[i]);
+  /// Phase 2: top-down pseudo-pinning (§III-C), executed in level-order
+  /// waves. Every sibling group at a depth is an independent subproblem, so
+  /// a whole level's solves are submitted to the pool at once; solutions
+  /// land in index-addressed slots and all stats/pin bookkeeping below runs
+  /// serially in wave order, keeping the mapping bit-identical for any
+  /// thread count. (A wave of size one — always the root — runs inline,
+  /// which leaves the pool free for that subproblem's annealing restarts.)
+  void pin(exec::ThreadPool& pool) {
+    std::vector<ClusterId> wave{0};  // depth-k clusters awaiting expansion
+    for (int k = 0; k < L && !wave.empty(); ++k) {
+      const auto& kids = childrenOf[static_cast<std::size_t>(k)];
+      const Torus cube = hierarchy.clusterTopology(k);
+      for (const ClusterId x : wave) {
+        RAHTM_REQUIRE(
+            static_cast<std::int64_t>(
+                kids[static_cast<std::size_t>(x)].size()) == cube.numNodes(),
+            "RAHTM pin: child count != cube size");
+      }
+      std::vector<SubproblemSolution> sols(wave.size());
+      pool.parallelFor(wave.size(), [&](std::size_t i) {
+        const auto& children = kids[static_cast<std::size_t>(wave[i])];
+        const CommGraph sibling =
+            restrictGraph(*graphs[static_cast<std::size_t>(k + 1)], children);
+        sols[i] = solveSubproblem(sibling, cube, cfg.subproblem, &pool);
+      });
+      std::vector<ClusterId> next;
+      for (std::size_t i = 0; i < wave.size(); ++i) {
+        ++stats->subproblemsSolved;
+        ++stats->solverMethodCounts[sols[i].method];
+        const auto& children = kids[static_cast<std::size_t>(wave[i])];
+        for (std::size_t j = 0; j < children.size(); ++j) {
+          pinSlot[static_cast<std::size_t>(k + 1)]
+                 [static_cast<std::size_t>(children[j])] =
+                     cube.coordOf(sols[i].vertexOf[j]);
+          if (k + 1 < L) next.push_back(children[j]);
+        }
+      }
+      wave = std::move(next);
     }
   }
 
@@ -208,11 +228,14 @@ Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
     RAHTM_REQUIRE(vol == ranks, "RahtmMapper: logical grid volume != ranks");
   }
 
+  exec::ThreadPool pool(config_.numThreads);
+  total.attr("threads", static_cast<std::int64_t>(pool.numThreads()));
+
   Pipeline pipe(config_, graph, topo, concentration, rankGrid, &stats_);
 
   {
     obs::ScopedSpan span(obs::tracer(), "rahtm.phase.pin", "rahtm");
-    pipe.pin(0, 0);
+    pipe.pin(pool);
     span.attr("subproblems", static_cast<std::int64_t>(stats_.subproblemsSolved));
     stats_.pinSeconds = span.close();
   }
@@ -246,16 +269,29 @@ Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
     RefineConfig rcfg = config_.refine;
     rcfg.objective = config_.merge.objective;
     const CommGraph& clusterGraph = pipe.tree.concentration.coarseGraph;
-    RefineResult rr = refinePlacement(topo, clusterGraph, nodeOfCluster, rcfg);
-    stats_.refineSwaps = rr.swapsApplied;
-    stats_.rootObjective = rr.objectiveAfter;
+    RefineResult rr;
+    RefineResult rc;
+    std::vector<NodeId> canonical;
     if (config_.canonicalSeed) {
-      std::vector<NodeId> canonical(nodeOfCluster.size());
+      // The mapped-seed and canonical-seed refinements are independent
+      // searches over disjoint state — run them as a two-task region.
+      canonical.resize(nodeOfCluster.size());
       for (std::size_t i = 0; i < canonical.size(); ++i) {
         canonical[i] = static_cast<NodeId>(i);
       }
-      const RefineResult rc =
-          refinePlacement(topo, clusterGraph, canonical, rcfg);
+      pool.parallelFor(2, [&](std::size_t i) {
+        if (i == 0) {
+          rr = refinePlacement(topo, clusterGraph, nodeOfCluster, rcfg);
+        } else {
+          rc = refinePlacement(topo, clusterGraph, canonical, rcfg);
+        }
+      });
+    } else {
+      rr = refinePlacement(topo, clusterGraph, nodeOfCluster, rcfg);
+    }
+    stats_.refineSwaps = rr.swapsApplied;
+    stats_.rootObjective = rr.objectiveAfter;
+    if (config_.canonicalSeed) {
       // Lexicographic comparison under the active objective.
       bool canonicalWins;
       MclEvaluator evaluator(topo);

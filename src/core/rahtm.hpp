@@ -35,6 +35,12 @@ struct RahtmConfig {
   bool canonicalSeed = true;
   /// Logical process-grid shape (product == rank count). Empty: 1D.
   Shape logicalGrid;
+  /// Worker threads for the compute phases: phase-2 subproblem waves,
+  /// annealing restarts, and the final-refinement seed pair. 1 (default)
+  /// runs fully serial; 0 uses every hardware thread. The mapping is
+  /// bit-identical for every value (see exec/thread_pool.hpp for the
+  /// determinism contract).
+  int numThreads = 1;
 };
 
 /// Timing and accounting for the §V-B optimization-time experiment.

@@ -1,6 +1,7 @@
 #include "core/subproblem.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 
@@ -8,6 +9,7 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "core/milp_mapper.hpp"
+#include "exec/thread_pool.hpp"
 #include "graph/stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -29,7 +31,8 @@ SubproblemSolution exhaustiveSearch(const CommGraph& g, const Torus& cube,
   const auto verts = static_cast<std::size_t>(g.numRanks());
   const auto nodes = static_cast<std::size_t>(cube.numNodes());
   RAHTM_REQUIRE(verts <= nodes, "exhaustiveSearch: graph larger than cube");
-  RAHTM_REQUIRE(nodes <= 9, "exhaustiveSearch: cube too large (max 9 nodes)");
+  RAHTM_REQUIRE(nodes <= static_cast<std::size_t>(kExhaustiveNodeCap),
+                "exhaustiveSearch: cube too large (max 9 nodes)");
 
   std::vector<NodeId> nodesPerm(nodes);
   std::iota(nodesPerm.begin(), nodesPerm.end(), 0);
@@ -62,7 +65,7 @@ namespace {
 /// two swapped vertices.
 class AnnealState {
  public:
-  AnnealState(const CommGraph& g, const Torus& cube, MclEvaluator& evaluator,
+  AnnealState(const CommGraph& g, MclEvaluator& evaluator,
               std::vector<NodeId> placement, MapObjective obj)
       : g_(g),
         evaluator_(&evaluator),
@@ -74,9 +77,7 @@ class AnnealState {
   double objective() const { return objective_; }
   const std::vector<NodeId>& placement() const { return placement_; }
 
-  /// Objective after swapping the nodes of vertices a and b (or moving a to
-  /// an empty node when b == -1 is not supported here: the pipeline always
-  /// has as many vertices as nodes).
+  /// Objective after swapping the nodes of vertices a and b.
   double trySwap(RankId a, RankId b) {
     std::swap(placement_[static_cast<std::size_t>(a)],
               placement_[static_cast<std::size_t>(b)]);
@@ -89,6 +90,20 @@ class AnnealState {
   void commitSwap(RankId a, RankId b, double newObjective) {
     std::swap(placement_[static_cast<std::size_t>(a)],
               placement_[static_cast<std::size_t>(b)]);
+    objective_ = newObjective;
+  }
+
+  /// Objective after relocating vertex a onto (currently empty) \p node.
+  double tryRelocate(RankId a, NodeId node) {
+    const NodeId old = placement_[static_cast<std::size_t>(a)];
+    placement_[static_cast<std::size_t>(a)] = node;
+    const double val = eval();
+    placement_[static_cast<std::size_t>(a)] = old;
+    return val;
+  }
+
+  void commitRelocate(RankId a, NodeId node, double newObjective) {
+    placement_[static_cast<std::size_t>(a)] = node;
     objective_ = newObjective;
   }
 
@@ -108,54 +123,104 @@ class AnnealState {
 }  // namespace
 
 SubproblemSolution annealSearch(const CommGraph& g, const Torus& cube,
-                                const SubproblemConfig& cfg) {
+                                const SubproblemConfig& cfg,
+                                exec::ThreadPool* pool) {
   const auto verts = static_cast<std::size_t>(g.numRanks());
+  const auto nodes = static_cast<std::size_t>(cube.numNodes());
   RAHTM_REQUIRE(verts >= 1, "annealSearch: empty graph");
-  RAHTM_REQUIRE(verts <= static_cast<std::size_t>(cube.numNodes()),
-                "annealSearch: graph larger than cube");
+  RAHTM_REQUIRE(verts <= nodes, "annealSearch: graph larger than cube");
 
+  // Pre-split one RNG stream per restart (Rng::split() == Rng(next())), so
+  // the streams are the same whether restarts run serially or on the pool.
+  const int restarts = std::max(1, cfg.annealRestarts);
   Rng master(cfg.seed);
-  MclEvaluator evaluator(cube);
-  SubproblemSolution best;
-  best.method = "anneal";
-  best.objective = std::numeric_limits<double>::infinity();
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(restarts));
+  for (auto& s : seeds) s = master.next();
 
-  for (int restart = 0; restart < std::max(1, cfg.annealRestarts); ++restart) {
-    Rng rng = master.split();
-    // Random initial placement over all cube nodes.
-    std::vector<NodeId> nodesPerm(static_cast<std::size_t>(cube.numNodes()));
+  struct RestartResult {
+    double objective = std::numeric_limits<double>::infinity();
+    std::vector<NodeId> placement;
+    long iterations = 0;
+  };
+  std::vector<RestartResult> results(static_cast<std::size_t>(restarts));
+
+  const auto runRestart = [&](std::size_t restart) {
+    Rng rng(seeds[restart]);
+    // Thread-local evaluator: its memo cache and scratch are mutable.
+    MclEvaluator evaluator(cube);
+    // Random initial placement over all cube nodes; the tail of the
+    // permutation is the (possibly empty) set of unoccupied nodes.
+    std::vector<NodeId> nodesPerm(nodes);
     std::iota(nodesPerm.begin(), nodesPerm.end(), 0);
     rng.shuffle(nodesPerm);
     std::vector<NodeId> placement(nodesPerm.begin(),
                                   nodesPerm.begin() + static_cast<long>(verts));
-    AnnealState state(g, cube, evaluator, std::move(placement), cfg.objective);
+    std::vector<NodeId> empty(nodesPerm.begin() + static_cast<long>(verts),
+                              nodesPerm.end());
+    AnnealState state(g, evaluator, std::move(placement), cfg.objective);
 
-    double bestLocal = state.objective();
-    std::vector<NodeId> bestLocalPlacement = state.placement();
+    RestartResult& out = results[restart];
+    out.objective = state.objective();
+    out.placement = state.placement();
+
+    // Move targets: another occupied slot (swap) or an empty node
+    // (relocation). With a single node there is no move at all.
+    const std::size_t slots = verts + empty.size();
+    if (slots < 2) return;
 
     // Geometric cooling sized to the initial objective scale.
     double temp = std::max(1e-9, state.objective() * 0.25);
-    const double cooling =
-        std::pow(1e-4, 1.0 / static_cast<double>(std::max<long>(1, cfg.annealIters)));
+    const double cooling = std::pow(
+        1e-4, 1.0 / static_cast<double>(std::max<long>(1, cfg.annealIters)));
     for (long it = 0; it < cfg.annealIters; ++it) {
       const auto a = static_cast<RankId>(rng.nextBounded(verts));
-      auto b = static_cast<RankId>(rng.nextBounded(verts));
-      if (a == b) continue;
-      ++best.iterations;
-      const double cand = state.trySwap(a, b);
+      // Resample the target on collision: a `continue` here would skip the
+      // temp update below and make the effective cooling-schedule length
+      // vary with the collision count.
+      auto t = static_cast<std::size_t>(rng.nextBounded(slots));
+      while (t == static_cast<std::size_t>(a)) {
+        t = static_cast<std::size_t>(rng.nextBounded(slots));
+      }
+      ++out.iterations;
+      const bool relocate = t >= verts;
+      const double cand =
+          relocate ? state.tryRelocate(a, empty[t - verts])
+                   : state.trySwap(a, static_cast<RankId>(t));
       const double delta = cand - state.objective();
       if (delta <= 0 || rng.nextDouble() < std::exp(-delta / temp)) {
-        state.commitSwap(a, b, cand);
-        if (state.objective() < bestLocal) {
-          bestLocal = state.objective();
-          bestLocalPlacement = state.placement();
+        if (relocate) {
+          const NodeId vacated = state.placement()[static_cast<std::size_t>(a)];
+          state.commitRelocate(a, empty[t - verts], cand);
+          empty[t - verts] = vacated;
+        } else {
+          state.commitSwap(a, static_cast<RankId>(t), cand);
+        }
+        if (state.objective() < out.objective) {
+          out.objective = state.objective();
+          out.placement = state.placement();
         }
       }
       temp *= cooling;
     }
-    if (bestLocal < best.objective) {
-      best.objective = bestLocal;
-      best.vertexOf = bestLocalPlacement;
+  };
+
+  if (pool != nullptr) {
+    pool->parallelFor(static_cast<std::size_t>(restarts), runRestart);
+  } else {
+    for (std::size_t r = 0; r < static_cast<std::size_t>(restarts); ++r) {
+      runRestart(r);
+    }
+  }
+
+  // Reduce in restart order (strict improvement), matching the serial loop.
+  SubproblemSolution best;
+  best.method = "anneal";
+  best.objective = std::numeric_limits<double>::infinity();
+  for (const RestartResult& r : results) {
+    best.iterations += r.iterations;
+    if (r.objective < best.objective) {
+      best.objective = r.objective;
+      best.vertexOf = r.placement;
     }
   }
   return best;
@@ -165,7 +230,8 @@ namespace {
 
 /// Portfolio dispatch body (wrapped by solveSubproblem for telemetry).
 SubproblemSolution dispatchSubproblem(const CommGraph& g, const Torus& cube,
-                                      const SubproblemConfig& cfg) {
+                                      const SubproblemConfig& cfg,
+                                      exec::ThreadPool* pool) {
   const std::int64_t nodes = cube.numNodes();
   if (nodes <= cfg.milpMaxVerts && cfg.objective == MapObjective::Mcl) {
     MilpMapOptions opts;
@@ -185,20 +251,35 @@ SubproblemSolution dispatchSubproblem(const CommGraph& g, const Torus& cube,
     RAHTM_LOG(Warn) << "MILP subproblem fell through (" << r.statusString
                     << "); falling back";
   }
-  if (nodes <= cfg.exhaustiveMaxVerts) {
+  // Clamp the exhaustive window to what exhaustiveSearch can feasibly
+  // enumerate: a raised exhaustiveMaxVerts must degrade to annealing, not
+  // abort the whole pipeline mid-run on the solver's size check.
+  std::int64_t exhaustiveCap = cfg.exhaustiveMaxVerts;
+  if (exhaustiveCap > kExhaustiveNodeCap) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      RAHTM_LOG(Warn) << "exhaustiveMaxVerts=" << cfg.exhaustiveMaxVerts
+                      << " exceeds the exhaustive-search cap of "
+                      << kExhaustiveNodeCap
+                      << " nodes; clamping (larger cubes anneal)";
+    }
+    exhaustiveCap = kExhaustiveNodeCap;
+  }
+  if (nodes <= exhaustiveCap) {
     return exhaustiveSearch(g, cube, cfg.objective);
   }
-  return annealSearch(g, cube, cfg);
+  return annealSearch(g, cube, cfg, pool);
 }
 
 }  // namespace
 
 SubproblemSolution solveSubproblem(const CommGraph& g, const Torus& cube,
-                                   const SubproblemConfig& cfg) {
+                                   const SubproblemConfig& cfg,
+                                   exec::ThreadPool* pool) {
   obs::ScopedSpan span(obs::tracer(), "rahtm.subproblem", "rahtm");
   span.attr("verts", static_cast<std::int64_t>(g.numRanks()));
   span.attr("cube_nodes", cube.numNodes());
-  SubproblemSolution s = dispatchSubproblem(g, cube, cfg);
+  SubproblemSolution s = dispatchSubproblem(g, cube, cfg, pool);
   span.attr("method", s.method);
   span.attr("iterations", static_cast<std::int64_t>(s.iterations));
   span.attr("objective", s.objective);

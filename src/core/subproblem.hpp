@@ -15,6 +15,15 @@
 
 namespace rahtm {
 
+namespace exec {
+class ThreadPool;
+}
+
+/// Hard feasibility cap for exhaustiveSearch: 9! = 362880 placements.
+/// dispatchSubproblem clamps SubproblemConfig::exhaustiveMaxVerts to this
+/// (with a warning) instead of letting a mid-pipeline solve abort.
+inline constexpr std::int64_t kExhaustiveNodeCap = 9;
+
 /// Mapping objective. The paper argues MCL is the right metric under
 /// adaptive routing (§III-A, Fig. 1); hop-bytes is kept as the
 /// routing-unaware ablation.
@@ -48,17 +57,25 @@ struct SubproblemSolution {
 double evalPlacement(const CommGraph& g, const Torus& cube,
                      const std::vector<NodeId>& vertexOf, MapObjective obj);
 
-/// Exact search over all one-to-one placements. Feasible for
-/// cube.numNodes() <= 8 (40320 placements).
+/// Exact search over all one-to-one placements. Throws beyond
+/// kExhaustiveNodeCap nodes; the portfolio clamps instead of calling it.
 SubproblemSolution exhaustiveSearch(const CommGraph& g, const Torus& cube,
                                     MapObjective obj);
 
-/// Multi-restart simulated annealing over placements (swap moves).
+/// Multi-restart simulated annealing over placements. Moves are pairwise
+/// swaps plus, on partially-filled cubes, vertex-to-empty-node relocations
+/// (without them the nodes left out of the initial random prefix would be
+/// unreachable for the whole search). Restart RNG streams are pre-split by
+/// restart index, so when \p pool is given the restarts run in parallel
+/// with bit-identical results to the serial order.
 SubproblemSolution annealSearch(const CommGraph& g, const Torus& cube,
-                                const SubproblemConfig& cfg);
+                                const SubproblemConfig& cfg,
+                                exec::ThreadPool* pool = nullptr);
 
 /// Portfolio dispatch by cube size (MILP -> exhaustive -> annealing).
+/// \p pool, when non-null, parallelizes annealing restarts.
 SubproblemSolution solveSubproblem(const CommGraph& g, const Torus& cube,
-                                   const SubproblemConfig& cfg);
+                                   const SubproblemConfig& cfg,
+                                   exec::ThreadPool* pool = nullptr);
 
 }  // namespace rahtm

@@ -1,0 +1,85 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Deterministic fork-join execution for the compute phases.
+///
+/// The RAHTM pipeline's hot loops (phase-2 subproblem waves, annealing
+/// restarts, the final-refinement pair) are embarrassingly parallel: every
+/// task writes only to its own index-addressed result slot. `ThreadPool`
+/// provides exactly that shape — a fixed set of workers plus a blocking
+/// `parallelFor(n, fn)` — and nothing else (no futures, no task graph), so
+/// the determinism contract is easy to audit:
+///
+///   * task i receives only its index; any randomness must come from a
+///     stream pre-split by index before the fork;
+///   * tasks never reduce concurrently — callers collect into slots and
+///     reduce in index order after the join;
+///   * therefore results are bit-identical for every thread count,
+///     including 1 (where everything runs inline on the caller).
+///
+/// Nesting: the calling thread participates in the loop, and a
+/// `parallelFor` issued from inside a worker runs inline (serial). This
+/// makes nested use safe by construction — the pin wave can parallelize
+/// across sibling subproblems while each subproblem's annealing restarts
+/// transparently degrade to serial, and a single-subproblem wave (the root
+/// level) leaves the pool free for the restarts instead.
+///
+/// Telemetry: when a metrics registry is installed, each parallel region
+/// updates the `exec.pool.utilization` gauge (busy time / (threads × wall
+/// time) of the region) and the `exec.pool.tasks` / `exec.pool.regions`
+/// counters.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rahtm::exec {
+
+class ThreadPool {
+ public:
+  /// A pool running at \p threads total concurrency (workers + the calling
+  /// thread). `threads <= 1` spawns no workers and runs everything inline;
+  /// `threads == 0` means one per hardware thread.
+  explicit ThreadPool(int threads = 1);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (including the caller).
+  int numThreads() const { return threadCount_; }
+
+  /// Run fn(0) .. fn(n-1), returning after all calls complete. The caller
+  /// executes tasks too. The first exception thrown by a task is rethrown
+  /// here (remaining tasks still run). Reentrant calls — from inside a
+  /// task, or while another thread drives a region — run inline.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Resolve a configured thread count: 0 -> hardware concurrency,
+  /// anything else clamped to >= 1.
+  static int resolveThreads(int requested);
+
+ private:
+  struct Job;
+
+  void workerLoop();
+  void runTasks(Job& job);
+
+  int threadCount_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable wake_;  ///< workers wait for a job (or stop)
+  std::condition_variable done_;  ///< the caller waits for job completion
+  Job* job_ = nullptr;            ///< the active parallel region, if any
+  bool stop_ = false;
+};
+
+/// Thread count requested via the RAHTM_THREADS environment variable;
+/// 1 (serial) when unset or unparsable. 0 means "all hardware threads"
+/// (resolved at pool construction).
+int threadsFromEnv();
+
+}  // namespace rahtm::exec

@@ -8,7 +8,8 @@ namespace rahtm {
 
 MclEvaluator::MclEvaluator(const Torus& topo)
     : topo_(&topo),
-      scratch_(static_cast<std::size_t>(topo.numChannelSlots()), 0.0) {}
+      scratch_(static_cast<std::size_t>(topo.numChannelSlots()), 0.0),
+      mark_(static_cast<std::size_t>(topo.numChannelSlots()), 0) {}
 
 const std::vector<std::pair<ChannelId, double>>& MclEvaluator::pairEntries(
     NodeId src, NodeId dst) {
@@ -26,24 +27,40 @@ const std::vector<std::pair<ChannelId, double>>& MclEvaluator::pairEntries(
   return it->second;
 }
 
-MclEvaluator::LoadSummary MclEvaluator::summarize(
-    const CommGraph& graph, const std::vector<NodeId>& nodeOfVertex) {
+void MclEvaluator::accumulate(const CommGraph& graph,
+                              const std::vector<NodeId>& nodeOfVertex) {
   RAHTM_REQUIRE(
       nodeOfVertex.size() >= static_cast<std::size_t>(graph.numRanks()),
-      "MclEvaluator::summarize: placement too small");
-  for (const ChannelId c : touched_) scratch_[static_cast<std::size_t>(c)] = 0;
+      "MclEvaluator: placement too small");
   touched_.clear();
+  if (++epoch_ == 0) {  // epoch wrap: invalidate all stale marks
+    std::fill(mark_.begin(), mark_.end(), 0);
+    epoch_ = 1;
+  }
   for (const Flow& f : graph.flows()) {
     const NodeId u = nodeOfVertex[static_cast<std::size_t>(f.src)];
     const NodeId v = nodeOfVertex[static_cast<std::size_t>(f.dst)];
-    RAHTM_REQUIRE(u >= 0 && v >= 0, "MclEvaluator::summarize: unmapped vertex");
+    RAHTM_REQUIRE(u >= 0 && v >= 0, "MclEvaluator: unmapped vertex");
     if (u == v) continue;
+    // Zero-volume flows add no load; skipping them also keeps them from
+    // registering channels in touched_ (the former `cell == 0.0` test
+    // pushed such channels once per flow that grazed them).
+    if (f.bytes == 0) continue;
     for (const auto& [channel, frac] : pairEntries(u, v)) {
-      auto& cell = scratch_[static_cast<std::size_t>(channel)];
-      if (cell == 0.0) touched_.push_back(channel);
-      cell += frac * f.bytes;
+      const auto idx = static_cast<std::size_t>(channel);
+      if (mark_[idx] != epoch_) {
+        mark_[idx] = epoch_;
+        scratch_[idx] = 0;
+        touched_.push_back(channel);
+      }
+      scratch_[idx] += frac * f.bytes;
     }
   }
+}
+
+MclEvaluator::LoadSummary MclEvaluator::summarize(
+    const CommGraph& graph, const std::vector<NodeId>& nodeOfVertex) {
+  accumulate(graph, nodeOfVertex);
   LoadSummary s;
   for (const ChannelId c : touched_) {
     const double v = scratch_[static_cast<std::size_t>(c)];
@@ -55,22 +72,7 @@ MclEvaluator::LoadSummary MclEvaluator::summarize(
 
 double MclEvaluator::mcl(const CommGraph& graph,
                          const std::vector<NodeId>& nodeOfVertex) {
-  RAHTM_REQUIRE(
-      nodeOfVertex.size() >= static_cast<std::size_t>(graph.numRanks()),
-      "MclEvaluator::mcl: placement too small");
-  for (const ChannelId c : touched_) scratch_[static_cast<std::size_t>(c)] = 0;
-  touched_.clear();
-  for (const Flow& f : graph.flows()) {
-    const NodeId u = nodeOfVertex[static_cast<std::size_t>(f.src)];
-    const NodeId v = nodeOfVertex[static_cast<std::size_t>(f.dst)];
-    RAHTM_REQUIRE(u >= 0 && v >= 0, "MclEvaluator::mcl: unmapped vertex");
-    if (u == v) continue;
-    for (const auto& [channel, frac] : pairEntries(u, v)) {
-      auto& cell = scratch_[static_cast<std::size_t>(channel)];
-      if (cell == 0.0) touched_.push_back(channel);
-      cell += frac * f.bytes;
-    }
-  }
+  accumulate(graph, nodeOfVertex);
   double best = 0;
   for (const ChannelId c : touched_) {
     best = std::max(best, scratch_[static_cast<std::size_t>(c)]);

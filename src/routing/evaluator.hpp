@@ -7,6 +7,13 @@
 /// communication graph. This evaluator memoizes, per (src,dst) node pair,
 /// the uniform-minimal path decomposition as a flat (channel, fraction)
 /// list, turning each evaluation into a short accumulate-and-max scan.
+///
+/// Thread safety: NONE. Every method except hopBytesOf() mutates internal
+/// state (the memo cache, the scratch load vector, the touched-channel
+/// epoch marks), so an instance must be owned by a single thread at a
+/// time. Parallel searches (e.g. annealing restarts on the exec pool)
+/// construct one evaluator per task — construction is cheap; the memo
+/// cache warms up within a few evaluations.
 
 #include <cstdint>
 #include <unordered_map>
@@ -48,12 +55,22 @@ class MclEvaluator {
   const std::vector<std::pair<ChannelId, double>>& pairEntries(NodeId src,
                                                                NodeId dst);
 
+  /// Accumulate the channel loads of \p graph under \p nodeOfVertex into
+  /// scratch_, recording each loaded channel in touched_ exactly once.
+  void accumulate(const CommGraph& graph,
+                  const std::vector<NodeId>& nodeOfVertex);
+
   const Torus* topo_;
   std::unordered_map<std::uint64_t,
                      std::vector<std::pair<ChannelId, double>>>
       cache_;
   std::vector<double> scratch_;           // dense channel loads
   std::vector<ChannelId> touched_;        // channels written this eval
+  /// Per-channel "was touched this evaluation" stamp. An epoch counter
+  /// (rather than testing scratch_ == 0.0) keeps touched_ duplicate-free
+  /// even when a flow's contribution rounds to zero load.
+  std::vector<std::uint32_t> mark_;
+  std::uint32_t epoch_ = 0;
 };
 
 }  // namespace rahtm

@@ -54,6 +54,48 @@ TEST(Evaluator, SummarizeIsConsistent) {
   EXPECT_GE(s.sumSquares, s.mcl * s.mcl - 1e-9);
 }
 
+TEST(Evaluator, VanishingFlowDoesNotDoubleCountChannels) {
+  // Regression: a flow whose per-channel contribution rounds to 0.0 (a
+  // denormal volume split fractionally across paths) used to leave the
+  // channel's scratch cell at zero, so a later flow on the same channel
+  // re-pushed it into the touched list and summarize() double-counted its
+  // load in sumSquares. Epoch-mark tracking makes the touched list a set.
+  const Torus t = Torus::torus(Shape{4, 4});
+  const std::vector<NodeId> place{0, 1, 2, 3, 4, 5, 6, 7,
+                                  8, 9, 10, 11, 12, 13, 14, 15};
+  CommGraph with(16);
+  // Diagonal (0,0)->(1,1): the oblivious router splits 50/50, and
+  // 0.5 * 5e-324 underflows to exactly 0.0.
+  with.addFlow(0, 5, 5e-324);
+  with.addFlow(0, 1, 8);  // shares the 0->1 channel with the X-first path
+  CommGraph without(16);
+  without.addFlow(0, 1, 8);
+  MclEvaluator a(t);
+  MclEvaluator b(t);
+  const auto sWith = a.summarize(with, place);
+  const auto sWithout = b.summarize(without, place);
+  EXPECT_DOUBLE_EQ(sWith.mcl, sWithout.mcl);
+  EXPECT_DOUBLE_EQ(sWith.sumSquares, sWithout.sumSquares);
+}
+
+TEST(Evaluator, RepeatedEvaluationsStayConsistent) {
+  // The epoch counter must reset scratch state correctly across many
+  // evaluations on the same instance (exercises the mark/epoch path).
+  const Torus t = Torus::mesh(Shape{2, 2, 2});
+  CommGraph g(8);
+  g.addExchange(0, 7, 12);
+  g.addExchange(1, 6, 5);
+  MclEvaluator evaluator(t);
+  std::vector<NodeId> place(8);
+  std::iota(place.begin(), place.end(), 0);
+  const double first = evaluator.mcl(g, place);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(evaluator.mcl(g, place), first);
+  }
+  const auto s = evaluator.summarize(g, place);
+  EXPECT_DOUBLE_EQ(s.mcl, first);
+}
+
 TEST(Evaluator, CoLocatedVerticesAreFree) {
   const Torus t = Torus::torus(Shape{2, 2});
   CommGraph g(2);

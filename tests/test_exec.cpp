@@ -1,0 +1,190 @@
+// Tests for the deterministic fork-join execution layer and the pipeline's
+// determinism contract: any thread count must produce bit-identical
+// mappings (pre-split RNG streams, index-addressed result slots, ordered
+// reductions).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/rahtm.hpp"
+#include "core/subproblem.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "topology/torus.hpp"
+#include "workloads/workload.hpp"
+
+namespace rahtm {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  exec::ThreadPool pool(4);
+  EXPECT_EQ(pool.numThreads(), 4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  pool.parallelFor(hits.size(),
+                   [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+  exec::ThreadPool pool(1);
+  EXPECT_EQ(pool.numThreads(), 1);
+  std::vector<int> order;
+  pool.parallelFor(8, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // safe: no workers exist
+  });
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  exec::ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallelFor(16,
+                                [&](std::size_t i) {
+                                  ran.fetch_add(1);
+                                  if (i == 5) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // Remaining tasks still execute (no partial-result slots left unwritten).
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  exec::ThreadPool pool(4);
+  std::vector<std::atomic<int>> inner(8 * 8);
+  for (auto& c : inner) c.store(0);
+  pool.parallelFor(8, [&](std::size_t i) {
+    pool.parallelFor(8, [&](std::size_t j) {
+      inner[i * 8 + j].fetch_add(1);
+    });
+  });
+  for (const auto& c : inner) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossRegions) {
+  exec::ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallelFor(10, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 45);
+  }
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(exec::ThreadPool::resolveThreads(3), 3);
+  EXPECT_EQ(exec::ThreadPool::resolveThreads(-2), 1);
+  EXPECT_GE(exec::ThreadPool::resolveThreads(0), 1);
+}
+
+TEST(ThreadPool, ThreadsFromEnv) {
+  const char* old = std::getenv("RAHTM_THREADS");
+  const std::string saved = old == nullptr ? "" : old;
+  ::setenv("RAHTM_THREADS", "6", 1);
+  EXPECT_EQ(exec::threadsFromEnv(), 6);
+  ::setenv("RAHTM_THREADS", "garbage", 1);
+  EXPECT_EQ(exec::threadsFromEnv(), 1);
+  ::unsetenv("RAHTM_THREADS");
+  EXPECT_EQ(exec::threadsFromEnv(), 1);
+  if (old != nullptr) ::setenv("RAHTM_THREADS", saved.c_str(), 1);
+}
+
+TEST(ThreadPool, UtilizationGaugeRecorded) {
+  obs::MetricsRegistry reg;
+  obs::setMetrics(&reg);
+  {
+    exec::ThreadPool pool(2);
+    pool.parallelFor(8, [](std::size_t) {
+      volatile double x = 0;
+      for (int i = 0; i < 20000; ++i) x = x + 1.0;
+    });
+  }
+  obs::setMetrics(nullptr);
+  const obs::Counter* tasks = reg.findCounter("exec.pool.tasks");
+  ASSERT_NE(tasks, nullptr);
+  EXPECT_EQ(tasks->value(), 8);
+  EXPECT_EQ(reg.findCounter("exec.pool.regions")->value(), 1);
+}
+
+// ---- Pipeline determinism ---------------------------------------------------
+
+RahtmConfig annealHeavyConfig() {
+  RahtmConfig cfg;
+  // Force annealing everywhere so the parallel-restart path is exercised.
+  cfg.subproblem.milpMaxVerts = 0;
+  cfg.subproblem.exhaustiveMaxVerts = 0;
+  cfg.subproblem.annealRestarts = 4;
+  cfg.subproblem.annealIters = 2000;
+  cfg.merge.beamWidth = 8;
+  return cfg;
+}
+
+TEST(ExecDeterminism, ThreadedMappingIsBitIdenticalToSerial) {
+  const Torus t = Torus::torus(Shape{2, 2, 2, 2});  // 16 nodes, 2 levels
+  for (const char* name : {"CG", "BT"}) {
+    const Workload w = makeNasByName(name, 64);
+    RahtmMapper serial(annealHeavyConfig());
+    RahtmMapper threaded(annealHeavyConfig());
+    threaded.config().numThreads = 4;
+    const Mapping m1 = serial.mapWorkload(w, t, 4);
+    const Mapping m4 = threaded.mapWorkload(w, t, 4);
+    EXPECT_EQ(m1.nodeVector(), m4.nodeVector()) << name;
+    EXPECT_DOUBLE_EQ(serial.stats().rootObjective,
+                     threaded.stats().rootObjective);
+    EXPECT_EQ(serial.stats().subproblemsSolved,
+              threaded.stats().subproblemsSolved);
+    EXPECT_EQ(serial.stats().refineSwaps, threaded.stats().refineSwaps);
+  }
+}
+
+TEST(ExecDeterminism, DefaultPortfolioAlsoBitIdentical) {
+  // Mixed portfolio (exhaustive leaves + anneal) across several seeds.
+  const Torus t = Torus::torus(Shape{4, 2, 2});
+  const Workload w = makeSP(64);
+  for (const std::uint64_t seed : {0x5eedULL, 1ULL, 42ULL}) {
+    RahtmConfig cfg;
+    cfg.subproblem.milpMaxVerts = 0;
+    cfg.subproblem.annealRestarts = 3;
+    cfg.subproblem.annealIters = 1500;
+    cfg.subproblem.seed = seed;
+    cfg.merge.beamWidth = 8;
+    RahtmMapper serial(cfg);
+    RahtmConfig cfg4 = cfg;
+    cfg4.numThreads = 4;
+    RahtmMapper threaded(cfg4);
+    EXPECT_EQ(serial.mapWorkload(w, t, 4).nodeVector(),
+              threaded.mapWorkload(w, t, 4).nodeVector())
+        << "seed " << seed;
+  }
+}
+
+TEST(ExecDeterminism, AnnealSearchPoolMatchesSerial) {
+  const Torus cube = Torus::mesh(Shape{2, 2, 2});
+  CommGraph g(8);
+  Rng rng(99);
+  for (int i = 0; i < 20; ++i) {
+    const auto a = static_cast<RankId>(rng.nextBounded(8));
+    const auto b = static_cast<RankId>(rng.nextBounded(8));
+    if (a != b) g.addFlow(a, b, 1 + static_cast<double>(rng.nextBounded(50)));
+  }
+  SubproblemConfig cfg;
+  cfg.annealRestarts = 5;
+  cfg.annealIters = 3000;
+  const SubproblemSolution serial = annealSearch(g, cube, cfg, nullptr);
+  exec::ThreadPool pool(4);
+  const SubproblemSolution threaded = annealSearch(g, cube, cfg, &pool);
+  EXPECT_EQ(serial.vertexOf, threaded.vertexOf);
+  EXPECT_DOUBLE_EQ(serial.objective, threaded.objective);
+  EXPECT_EQ(serial.iterations, threaded.iterations);
+}
+
+}  // namespace
+}  // namespace rahtm

@@ -1,0 +1,169 @@
+// Tests for the phase-2 solver portfolio: dispatch clamping, the annealing
+// move set on partially-filled cubes, and cross-method agreement.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/subproblem.hpp"
+#include "exec/thread_pool.hpp"
+#include "graph/comm_graph.hpp"
+#include "topology/torus.hpp"
+
+namespace rahtm {
+namespace {
+
+CommGraph chain(RankId n, Volume bytes) {
+  CommGraph g(n);
+  for (RankId r = 0; r + 1 < n; ++r) g.addExchange(r, r + 1, bytes);
+  return g;
+}
+
+TEST(SubproblemDispatch, OversizedExhaustiveCapClampsToAnneal) {
+  // A user raising exhaustiveMaxVerts past the 9-node feasibility cap must
+  // get the annealing fallback, not a mid-pipeline abort.
+  const Torus cube = Torus::mesh(Shape{12});
+  const CommGraph g = chain(12, 10);
+  SubproblemConfig cfg;
+  cfg.milpMaxVerts = 0;
+  cfg.exhaustiveMaxVerts = 16;  // > kExhaustiveNodeCap, covers the 12-cube
+  cfg.annealIters = 2000;
+  SubproblemSolution sol;
+  ASSERT_NO_THROW(sol = solveSubproblem(g, cube, cfg));
+  EXPECT_EQ(sol.method, "anneal");
+  EXPECT_EQ(sol.vertexOf.size(), 12u);
+}
+
+TEST(SubproblemDispatch, ExhaustiveStillUsedWithinTheCap) {
+  const Torus cube = Torus::mesh(Shape{2, 2, 2});
+  const CommGraph g = chain(8, 10);
+  SubproblemConfig cfg;
+  cfg.milpMaxVerts = 0;
+  cfg.exhaustiveMaxVerts = 16;  // clamped to 9; the 8-cube still qualifies
+  const SubproblemSolution sol = solveSubproblem(g, cube, cfg);
+  EXPECT_EQ(sol.method, "exhaustive");
+}
+
+TEST(SubproblemDispatch, ExhaustiveSearchRejectsOversizedCube) {
+  // The solver's own guard is unchanged — only the dispatch clamps.
+  const Torus cube = Torus::mesh(Shape{10});
+  EXPECT_THROW(exhaustiveSearch(chain(10, 1), cube, MapObjective::Mcl),
+               PreconditionError);
+}
+
+TEST(AnnealSearch, ReachesNodesOutsideTheInitialPrefix) {
+  // Two heavy communicators on a 4-node line, hop-bytes objective: the
+  // optimum needs adjacent nodes. Swap moves alone cannot leave the two
+  // nodes picked by the initial random prefix, so restarts seeded with a
+  // non-adjacent pair would be stuck without the relocation move.
+  const Torus cube = Torus::mesh(Shape{4});
+  CommGraph g(2);
+  g.addExchange(0, 1, 100);
+  SubproblemConfig cfg;
+  cfg.objective = MapObjective::HopBytes;
+  cfg.annealRestarts = 4;
+  cfg.annealIters = 3000;
+  const SubproblemSolution sol = annealSearch(g, cube, cfg);
+  // Optimal hop-bytes: both directions of one hop = 2 * 100.
+  EXPECT_DOUBLE_EQ(sol.objective, 200.0);
+  ASSERT_EQ(sol.vertexOf.size(), 2u);
+  EXPECT_EQ(std::abs(sol.vertexOf[0] - sol.vertexOf[1]), 1);
+  EXPECT_DOUBLE_EQ(
+      evalPlacement(g, cube, sol.vertexOf, MapObjective::HopBytes),
+      sol.objective);
+}
+
+TEST(AnnealSearch, SingleVertexOnSingleNodeTerminates) {
+  // No move exists at all; the search must not spin or throw.
+  const Torus cube = Torus::mesh(Shape{1});
+  CommGraph g(1);
+  SubproblemConfig cfg;
+  cfg.annealIters = 1000;
+  const SubproblemSolution sol = annealSearch(g, cube, cfg);
+  ASSERT_EQ(sol.vertexOf.size(), 1u);
+  EXPECT_EQ(sol.vertexOf[0], 0);
+  EXPECT_EQ(sol.iterations, 0);
+}
+
+TEST(AnnealSearch, SingleVertexRelocatesOnLargerCube) {
+  // One vertex, several nodes: every move is a relocation; must terminate
+  // with a valid node and zero objective (no flows).
+  const Torus cube = Torus::mesh(Shape{2, 2});
+  CommGraph g(1);
+  SubproblemConfig cfg;
+  cfg.annealIters = 500;
+  const SubproblemSolution sol = annealSearch(g, cube, cfg);
+  ASSERT_EQ(sol.vertexOf.size(), 1u);
+  EXPECT_GE(sol.vertexOf[0], 0);
+  EXPECT_LT(sol.vertexOf[0], 4);
+  EXPECT_GT(sol.iterations, 0);
+}
+
+TEST(AnnealSearch, ObjectiveMatchesReportedPlacement) {
+  const Torus cube = Torus::torus(Shape{4, 2});
+  Rng rng(7);
+  CommGraph g(6);  // partially filled: 6 verts on 8 nodes
+  for (int i = 0; i < 14; ++i) {
+    const auto a = static_cast<RankId>(rng.nextBounded(6));
+    const auto b = static_cast<RankId>(rng.nextBounded(6));
+    if (a != b) g.addFlow(a, b, 1 + static_cast<double>(rng.nextBounded(30)));
+  }
+  for (const MapObjective obj : {MapObjective::Mcl, MapObjective::HopBytes}) {
+    SubproblemConfig cfg;
+    cfg.objective = obj;
+    cfg.annealRestarts = 3;
+    cfg.annealIters = 2000;
+    const SubproblemSolution sol = annealSearch(g, cube, cfg);
+    EXPECT_NEAR(evalPlacement(g, cube, sol.vertexOf, obj), sol.objective,
+                1e-9);
+    // All assigned nodes distinct and in range.
+    std::vector<bool> used(8, false);
+    for (const NodeId n : sol.vertexOf) {
+      ASSERT_GE(n, 0);
+      ASSERT_LT(n, 8);
+      EXPECT_FALSE(used[static_cast<std::size_t>(n)]);
+      used[static_cast<std::size_t>(n)] = true;
+    }
+  }
+}
+
+TEST(SubproblemPortfolio, MethodsAgreeOnPartiallyFilledCube) {
+  // 3 verts on a 2x2 mesh: exhaustive is exact; annealing (with the
+  // relocation move) and the MILP must match its optimum.
+  const Torus cube = Torus::mesh(Shape{2, 2});
+  const CommGraph g = chain(3, 10);
+
+  const SubproblemSolution ex =
+      exhaustiveSearch(g, cube, MapObjective::Mcl);
+
+  SubproblemConfig annealCfg;
+  annealCfg.annealRestarts = 6;
+  annealCfg.annealIters = 4000;
+  const SubproblemSolution an = annealSearch(g, cube, annealCfg);
+  EXPECT_NEAR(an.objective, ex.objective, 1e-9);
+
+  SubproblemConfig milpCfg;
+  milpCfg.milpMaxVerts = 4;
+  const SubproblemSolution milp = solveSubproblem(g, cube, milpCfg);
+  EXPECT_EQ(milp.method, "milp");
+  EXPECT_NEAR(milp.objective, ex.objective, 1e-6);
+}
+
+TEST(SubproblemPortfolio, MethodsAgreeOnPartiallyFilledCubeHopBytes) {
+  const Torus cube = Torus::mesh(Shape{2, 2, 2});
+  const CommGraph g = chain(5, 7);
+  const SubproblemSolution ex =
+      exhaustiveSearch(g, cube, MapObjective::HopBytes);
+  SubproblemConfig cfg;
+  cfg.objective = MapObjective::HopBytes;
+  cfg.annealRestarts = 6;
+  cfg.annealIters = 6000;
+  const SubproblemSolution an = annealSearch(g, cube, cfg);
+  EXPECT_NEAR(an.objective, ex.objective, 1e-9);
+}
+
+}  // namespace
+}  // namespace rahtm

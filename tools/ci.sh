@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# CI driver: build and run the test suite twice — an optimized Release
-# configuration, then an ASan/UBSan configuration (RAHTM_SANITIZE, see the
+# CI driver: build and run the test suite three times — an optimized
+# Release configuration, an ASan/UBSan configuration, and a ThreadSanitizer
+# configuration covering the threaded execution-layer tests (TSan cannot be
+# combined with ASan, hence the separate tree; RAHTM_SANITIZE, see the
 # top-level CMakeLists.txt). Run from anywhere; build trees live under the
-# repo root as build-ci-release/ and build-ci-sanitize/.
+# repo root as build-ci-release/, build-ci-sanitize/ and build-ci-tsan/.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -10,17 +12,24 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 run_config() {
   local name="$1"; shift
+  local filter="$1"; shift
   local dir="$repo/build-ci-$name"
   echo "==== [$name] configure"
   cmake -B "$dir" -S "$repo" "$@"
   echo "==== [$name] build"
   cmake --build "$dir" -j "$jobs"
   echo "==== [$name] ctest"
-  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  local extra=()
+  if [[ -n "$filter" ]]; then extra+=(-R "$filter"); fi
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs" "${extra[@]}"
 }
 
-run_config release -DCMAKE_BUILD_TYPE=Release
-run_config sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+run_config release "" -DCMAKE_BUILD_TYPE=Release
+run_config sanitize "" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRAHTM_SANITIZE=address,undefined
+# TSan pass: only the suites that exercise the thread pool and the
+# parallel pipeline paths (the serial suites add nothing under TSan).
+run_config tsan 'test_exec|test_subproblem|test_rahtm' \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRAHTM_SANITIZE=thread
 
-echo "==== CI passed (release + sanitize)"
+echo "==== CI passed (release + sanitize + tsan)"

@@ -24,6 +24,7 @@
 #include "core/bisection_mapper.hpp"
 #include "core/greedy_mapper.hpp"
 #include "core/rahtm.hpp"
+#include "exec/thread_pool.hpp"
 #include "graph/stats.hpp"
 #include "mapping/hilbert.hpp"
 #include "mapping/mapfile.hpp"
@@ -55,8 +56,13 @@ int usage(const char* argv0) {
          "greedy|rcb|random]\n"
       << "          [--bytes N] [--beam N] [--leaf-milp N] [--no-merge] "
          "[--no-refine] [--verbose]\n"
-      << "          [--trace-out FILE] [--trace-summary FILE] "
+      << "          [--threads N] [--trace-out FILE] [--trace-summary FILE] "
          "[--metrics-out FILE]\n"
+      << "\n"
+      << "--threads N parallelizes the RAHTM compute phases over N threads\n"
+      << "(0 = all hardware threads; the RAHTM_THREADS environment variable\n"
+      << "is the fallback). The produced mapping is bit-identical for every\n"
+      << "thread count.\n"
       << "\n"
       << "Telemetry: --trace-out writes a Chrome trace_event JSON (load it\n"
       << "in Perfetto / chrome://tracing), --metrics-out a counter/histogram\n"
@@ -145,6 +151,8 @@ int main(int argc, char** argv) {
       // cube it can reach (the library default is tuned for test speed).
       cfg.subproblem.milpMaxVerts =
           static_cast<int>(args.getInt("leaf-milp", 8));
+      cfg.numThreads =
+          static_cast<int>(args.getInt("threads", exec::threadsFromEnv()));
       mapper = std::make_unique<RahtmMapper>(cfg);
     } else if (which == "abcdet") {
       mapper = std::make_unique<DefaultMapper>();
