@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/timer.hpp"
 #include "graph/stats.hpp"
 #include "mapping/hilbert.hpp"
@@ -62,8 +63,17 @@ std::unique_ptr<obs::TelemetrySession> telemetryFromCli(int argc,
 }
 
 ExperimentScale ExperimentScale::fromEnv() {
+  return fromSpec(envInt("RAHTM_NODES", 128),
+                  static_cast<int>(envInt("RAHTM_CONC", 8)),
+                  envInt("RAHTM_BYTES", 4096),
+                  static_cast<int>(envInt("RAHTM_SIM_ITERS", 4)));
+}
+
+ExperimentScale ExperimentScale::fromSpec(std::int64_t nodes,
+                                          int concentration,
+                                          std::int64_t messageBytes,
+                                          int simIterations) {
   ExperimentScale scale;
-  const std::int64_t nodes = envInt("RAHTM_NODES", 128);
   switch (nodes) {
     case 32: scale.machine = torus32(); break;
     case 128: scale.machine = bgqPartition128(); break;
@@ -71,9 +81,9 @@ ExperimentScale ExperimentScale::fromEnv() {
     default:
       throw ParseError("RAHTM_NODES must be 32, 128 or 512");
   }
-  scale.concentration = static_cast<int>(envInt("RAHTM_CONC", 8));
-  scale.simIterations = static_cast<int>(envInt("RAHTM_SIM_ITERS", 4));
-  scale.params.messageBytes = envInt("RAHTM_BYTES", 4096);
+  scale.concentration = concentration;
+  scale.simIterations = simIterations;
+  scale.params.messageBytes = messageBytes;
   // BG/Q-like NIC: injection outruns a single link so network contention —
   // the effect RAHTM optimizes — is visible (DESIGN.md §1).
   scale.sim.injectionBandwidth = 4;
@@ -122,10 +132,17 @@ std::vector<MapperRun> runStudy(const Workload& workload,
 }
 
 double geomean(const std::vector<double>& values) {
-  RAHTM_REQUIRE(!values.empty(), "geomean: empty input");
+  if (values.empty()) {
+    RAHTM_LOG(Warn) << "geomean: empty input, returning 0";
+    return 0;
+  }
   double logSum = 0;
   for (const double v : values) {
-    RAHTM_REQUIRE(v > 0, "geomean: non-positive value");
+    if (!(v > 0)) {
+      RAHTM_LOG(Warn) << "geomean: non-positive value " << v
+                      << ", returning 0";
+      return 0;
+    }
     logSum += std::log(v);
   }
   return std::exp(logSum / static_cast<double>(values.size()));

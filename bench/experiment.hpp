@@ -36,6 +36,13 @@ struct ExperimentScale {
 
   /// Read the scale from the environment (see file header).
   static ExperimentScale fromEnv();
+
+  /// Build a scale explicitly (nodes must be 32, 128 or 512). The ledger's
+  /// regression check uses this to re-run a suite at the scale recorded in
+  /// a baseline's environment fingerprint, whatever the current env says.
+  static ExperimentScale fromSpec(std::int64_t nodes, int concentration,
+                                  std::int64_t messageBytes,
+                                  int simIterations);
 };
 
 /// Build a telemetry session for a benchmark harness: honors
@@ -68,7 +75,9 @@ std::vector<std::unique_ptr<TaskMapper>> paperRoster(
 std::vector<MapperRun> runStudy(const Workload& workload,
                                 const ExperimentScale& scale);
 
-/// Geometric mean of positive values.
+/// Geometric mean of positive values. Degenerate input (empty, or any
+/// non-positive value) returns 0 with a warning instead of NaN/UB — the
+/// tables print a harmless 0% cell rather than aborting a long run.
 double geomean(const std::vector<double>& values);
 
 /// Print a "relative to first column" percentage table:

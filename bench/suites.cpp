@@ -1,0 +1,186 @@
+#include "bench/suites.hpp"
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "graph/stats.hpp"
+#include "mapping/permutation.hpp"
+#include "profile/profile.hpp"
+#include "routing/oblivious.hpp"
+
+namespace rahtm::bench {
+
+namespace {
+
+obs::EnvFingerprint fingerprint(const ExperimentScale& scale) {
+  obs::EnvFingerprint env = obs::currentEnvFingerprint();
+  env.nodes = scale.machine.numNodes();
+  env.concentration = scale.concentration;
+  env.messageBytes = scale.params.messageBytes;
+  env.simIterations = scale.simIterations;
+  // The roster maps single-threaded (the determinism contract makes thread
+  // count irrelevant to results, but the fingerprint records what ran).
+  env.threads = 1;
+  return env;
+}
+
+void appendStudy(obs::RunReport& report, const std::string& benchmark,
+                 const std::vector<MapperRun>& runs) {
+  for (const MapperRun& r : runs) {
+    obs::RunRecord record;
+    record.benchmark = benchmark;
+    record.mapper = r.mapper;
+    record.add("comm_cycles", r.commCycles);
+    record.add("mcl", r.mcl);
+    record.add("hop_bytes", r.hopBytes);
+    record.add("map_seconds", r.mapSeconds);
+    report.records.push_back(std::move(record));
+  }
+}
+
+obs::RunReport suiteStudy(const std::string& suite,
+                          const std::vector<std::string>& benchmarks,
+                          const ExperimentScale& scale, bool overall) {
+  obs::RunReport report;
+  report.suite = suite;
+  for (const std::string& name : benchmarks) {
+    const Workload w = makeNasByName(name, scale.ranks(), scale.params);
+    std::vector<MapperRun> runs = runStudy(w, scale);
+    if (overall) {
+      // Fig. 8's Amdahl damping: add the calibrated compute phase so the
+      // ledger carries the overall iteration time next to the comm time.
+      const double compute =
+          calibrateComputeCycles(runs.front().commCycles, w.commFraction);
+      obs::RunReport partial;
+      appendStudy(partial, name, runs);
+      for (obs::RunRecord& r : partial.records) {
+        r.add("overall_cycles", r.metricOr("comm_cycles", 0) + compute);
+      }
+      for (obs::RunRecord& r : partial.records) {
+        report.records.push_back(std::move(r));
+      }
+    } else {
+      appendStudy(report, name, runs);
+    }
+  }
+  report.env = fingerprint(scale);
+  return report;
+}
+
+obs::RunReport suiteTable1(const ExperimentScale& scale) {
+  obs::RunReport report;
+  report.suite = "table1";
+  for (const char* name : {"BT", "SP", "CG"}) {
+    const Workload w = makeNasByName(name, scale.ranks(), scale.params);
+    const GraphStats s = computeStats(w.commGraph());
+    obs::RunRecord record;
+    record.benchmark = name;
+    record.mapper = "-";
+    record.add("ranks", static_cast<double>(s.ranks));
+    record.add("flows", static_cast<double>(s.flows));
+    record.add("bytes_per_iter", static_cast<double>(s.totalVolume));
+    record.add("max_degree", static_cast<double>(s.maxDegree));
+    record.add("phases", static_cast<double>(w.phases.size()));
+    record.add("comm_fraction", w.commFraction);
+    report.records.push_back(std::move(record));
+  }
+  report.env = fingerprint(scale);
+  return report;
+}
+
+obs::RunReport suiteFig9(const ExperimentScale& scale) {
+  obs::RunReport report;
+  report.suite = "fig9";
+  for (const char* name : {"BT", "SP", "CG"}) {
+    const Workload w = makeNasByName(name, scale.ranks(), scale.params);
+    DefaultMapper baseline;
+    const Mapping m =
+        baseline.map(w.commGraph(), scale.machine, scale.concentration);
+    const auto comm = static_cast<double>(commCyclesPerIteration(
+        w, scale.machine, m, scale.sim, IterationModel::RankPipelined,
+        scale.simIterations));
+    const double compute = calibrateComputeCycles(comm, w.commFraction);
+    obs::RunRecord record;
+    record.benchmark = name;
+    record.mapper = baseline.name();
+    record.add("comm_cycles", comm);
+    record.add("compute_cycles", compute);
+    record.add("comm_fraction", comm / (comm + compute));
+    report.records.push_back(std::move(record));
+  }
+  report.env = fingerprint(scale);
+  return report;
+}
+
+obs::RunReport suiteAblationRefine(const ExperimentScale& scale) {
+  obs::RunReport report;
+  report.suite = "ablation_refine";
+  const struct {
+    const char* name;
+    bool refine;
+    bool canonical;
+  } modes[] = {
+      {"paper-only", false, false},
+      {"+refine", true, false},
+      {"+refine+canon", true, true},
+  };
+  for (const char* name : {"BT", "SP", "CG"}) {
+    const Workload w = makeNasByName(name, scale.ranks(), scale.params);
+    const CommGraph g = w.commGraph();
+    for (const auto& mode : modes) {
+      RahtmConfig cfg;
+      cfg.finalRefinement = mode.refine;
+      cfg.canonicalSeed = mode.canonical;
+      RahtmMapper mapper(cfg);
+      Timer t;
+      const Mapping m =
+          mapper.mapWorkload(w, scale.machine, scale.concentration);
+      const double mapSeconds = t.seconds();
+      obs::RunRecord record;
+      record.benchmark = name;
+      record.mapper = mode.name;
+      record.add("comm_cycles",
+                 static_cast<double>(commCyclesPerIteration(
+                     w, scale.machine, m, scale.sim,
+                     IterationModel::RankPipelined, scale.simIterations)));
+      record.add("mcl", placementMcl(scale.machine, g, m.nodeVector()));
+      record.add("hop_bytes", hopBytes(g, scale.machine, m.nodeVector()));
+      record.add("map_seconds", mapSeconds);
+      report.records.push_back(std::move(record));
+    }
+  }
+  report.env = fingerprint(scale);
+  return report;
+}
+
+}  // namespace
+
+std::vector<std::string> knownSuites() {
+  return {"table1", "fig8", "fig9", "fig10", "ablation_refine", "smoke"};
+}
+
+obs::RunReport runSuite(const std::string& name,
+                        const ExperimentScale& scale) {
+  if (name == "table1") return suiteTable1(scale);
+  if (name == "fig8") {
+    return suiteStudy("fig8", {"BT", "SP", "CG"}, scale, /*overall=*/true);
+  }
+  if (name == "fig9") return suiteFig9(scale);
+  if (name == "fig10") {
+    return suiteStudy("fig10", {"BT", "SP", "CG"}, scale, /*overall=*/false);
+  }
+  if (name == "ablation_refine") return suiteAblationRefine(scale);
+  if (name == "smoke") {
+    return suiteStudy("smoke", {"CG"}, scale, /*overall=*/false);
+  }
+  throw ParseError("unknown suite '" + name + "' (known: table1, fig8, fig9, "
+                   "fig10, ablation_refine, smoke)");
+}
+
+ExperimentScale scaleFromFingerprint(const obs::EnvFingerprint& env) {
+  return ExperimentScale::fromSpec(env.nodes,
+                                   static_cast<int>(env.concentration),
+                                   env.messageBytes,
+                                   static_cast<int>(env.simIterations));
+}
+
+}  // namespace rahtm::bench

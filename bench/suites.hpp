@@ -1,0 +1,33 @@
+#pragma once
+/// \file suites.hpp
+/// Named, ledger-producing benchmark suites: the same measurements the
+/// per-figure binaries (bench_fig8/9/10, bench_table1, the ablations)
+/// print as tables, repackaged as obs::RunReport ledgers so
+/// tools/rahtm_bench can emit machine-readable `BENCH_<suite>.json` files
+/// and gate them against committed baselines (`--baseline FILE --check`).
+
+#include <string>
+#include <vector>
+
+#include "bench/experiment.hpp"
+#include "obs/report.hpp"
+
+namespace rahtm::bench {
+
+/// All suite names runSuite accepts, in canonical order:
+/// table1, fig8, fig9, fig10, ablation_refine, smoke.
+std::vector<std::string> knownSuites();
+
+/// Run one suite at the given scale and return its ledger. The report's
+/// environment fingerprint combines obs::currentEnvFingerprint() with the
+/// scale actually used. Throws rahtm::ParseError for unknown names.
+///
+/// The "smoke" suite is the CI regression anchor: the full paper roster on
+/// the CG benchmark only, cheap enough to run on every commit.
+obs::RunReport runSuite(const std::string& name,
+                        const ExperimentScale& scale);
+
+/// Reconstruct the scale a ledger was produced at from its fingerprint.
+ExperimentScale scaleFromFingerprint(const obs::EnvFingerprint& env);
+
+}  // namespace rahtm::bench

@@ -5,8 +5,11 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "exec/thread_pool.hpp"
+#include "graph/stats.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "routing/evaluator.hpp"
+#include "routing/oblivious.hpp"
 
 namespace rahtm {
 
@@ -201,6 +204,33 @@ struct Pipeline {
   }
 };
 
+/// Evaluate the incumbent node-cluster placement after a phase and record
+/// it everywhere the attribution is consumed: RahtmStats::phaseQuality, a
+/// "rahtm.quality" instant trace event, and the
+/// "rahtm.quality.<phase>.{mcl,hop_bytes}" gauges. A trace therefore shows
+/// *which phase* bought each MCL / hop-bytes improvement.
+void recordPhaseQuality(RahtmStats& stats, const Torus& topo,
+                        const CommGraph& clusterGraph,
+                        const std::vector<NodeId>& nodeOfCluster,
+                        const char* phase) {
+  PhaseQuality q;
+  q.phase = phase;
+  q.mcl = placementMcl(topo, clusterGraph, nodeOfCluster);
+  q.hopBytes = hopBytes(clusterGraph, topo, nodeOfCluster);
+  stats.phaseQuality.push_back(q);
+  if (obs::Tracer* t = obs::tracer()) {
+    t->instant("rahtm.quality", "rahtm",
+               {{"phase", obs::jsonString(phase)},
+                {"mcl", obs::jsonDouble(q.mcl)},
+                {"hop_bytes", obs::jsonDouble(q.hopBytes)}});
+  }
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    const std::string prefix = std::string("rahtm.quality.") + phase;
+    reg->gauge(prefix + ".mcl").set(q.mcl);
+    reg->gauge(prefix + ".hop_bytes").set(q.hopBytes);
+  }
+}
+
 }  // namespace
 
 RahtmMapper::RahtmMapper(RahtmConfig config) : config_(std::move(config)) {}
@@ -233,6 +263,18 @@ Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
 
   Pipeline pipe(config_, graph, topo, concentration, rankGrid, &stats_);
 
+  // Quality attribution baseline: the canonical (identity) cluster
+  // placement right after clustering, before any placement decision.
+  const CommGraph& clusterGraph = pipe.tree.concentration.coarseGraph;
+  {
+    std::vector<NodeId> canonical(
+        static_cast<std::size_t>(clusterGraph.numRanks()));
+    for (std::size_t i = 0; i < canonical.size(); ++i) {
+      canonical[i] = static_cast<NodeId>(i);
+    }
+    recordPhaseQuality(stats_, topo, clusterGraph, canonical, "cluster");
+  }
+
   {
     obs::ScopedSpan span(obs::tracer(), "rahtm.phase.pin", "rahtm");
     pipe.pin(pool);
@@ -252,12 +294,23 @@ Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
 
   // Node-level cluster -> machine node.
   std::vector<NodeId> nodeOfCluster(
-      static_cast<std::size_t>(pipe.tree.concentration.coarseGraph.numRanks()),
-      kInvalidNode);
+      static_cast<std::size_t>(clusterGraph.numRanks()), kInvalidNode);
   for (std::size_t i = 0; i < root.clusters.size(); ++i) {
     nodeOfCluster[static_cast<std::size_t>(root.clusters[i])] =
         topo.nodeId(root.pos[i]);
   }
+
+  // Attribute pin and merge: mergeUp carries the pin-only layout alongside
+  // the merged one, so both incumbents are known here.
+  {
+    std::vector<NodeId> pinNode(nodeOfCluster.size(), kInvalidNode);
+    for (std::size_t i = 0; i < root.clusters.size(); ++i) {
+      pinNode[static_cast<std::size_t>(root.clusters[i])] =
+          topo.nodeId(root.pinPos[i]);
+    }
+    recordPhaseQuality(stats_, topo, clusterGraph, pinNode, "pin");
+  }
+  recordPhaseQuality(stats_, topo, clusterGraph, nodeOfCluster, "merge");
 
   // Final refinement: pairwise swaps on the full placement under the same
   // routing-aware objective (extension; see refine.hpp). With canonicalSeed
@@ -268,7 +321,6 @@ Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
     obs::ScopedSpan span(obs::tracer(), "rahtm.phase.refine", "rahtm");
     RefineConfig rcfg = config_.refine;
     rcfg.objective = config_.merge.objective;
-    const CommGraph& clusterGraph = pipe.tree.concentration.coarseGraph;
     RefineResult rr;
     RefineResult rc;
     std::vector<NodeId> canonical;
@@ -316,6 +368,7 @@ Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
     span.attr("swaps", static_cast<std::int64_t>(stats_.refineSwaps));
     span.attr("objective", stats_.rootObjective);
     stats_.refineSeconds = span.close();
+    recordPhaseQuality(stats_, topo, clusterGraph, nodeOfCluster, "refine");
   }
 
   // Rank -> (node, slot): slots assigned in rank order within each node.

@@ -5,6 +5,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/clustering.hpp"
 #include "core/hierarchy.hpp"
@@ -49,6 +50,19 @@ struct RahtmConfig {
 /// ("rahtm.phase.cluster" / ".pin" / ".merge" / ".refine" and "rahtm.map"
 /// for the total), so when a trace is captured (obs::setTracer /
 /// --trace-out) these numbers match the trace file exactly.
+/// Quality of the incumbent node-cluster placement at the end of one
+/// pipeline phase, under the oblivious MAR model (placementMcl) and the
+/// hop-bytes baseline metric. The sequence cluster → pin → merge → refine
+/// attributes the final mapping quality to the phase that bought it: the
+/// "cluster" entry evaluates the canonical (identity) cluster placement —
+/// the state before any placement optimization — and each later entry the
+/// placement that phase produced.
+struct PhaseQuality {
+  std::string phase;
+  double mcl = 0;
+  double hopBytes = 0;
+};
+
 struct RahtmStats {
   double clusterSeconds = 0;
   double pinSeconds = 0;
@@ -64,6 +78,11 @@ struct RahtmStats {
   /// Volume absorbed inside nodes by the concentration clustering.
   Volume intraNodeVolume = 0;
   Volume interNodeVolume = 0;
+  /// Per-phase incumbent quality, in pipeline order (cluster, pin, merge,
+  /// refine — refine only when final refinement ran). Mirrored into the
+  /// trace as "rahtm.quality" instant events and into the metrics registry
+  /// as "rahtm.quality.<phase>.{mcl,hop_bytes}" gauges.
+  std::vector<PhaseQuality> phaseQuality;
 };
 
 class RahtmMapper final : public TaskMapper {

@@ -3,9 +3,10 @@
 /// Tiny JSON *encoding* helpers shared by the tracer and the metrics
 /// registry. Values are produced as ready-to-embed JSON literals so event
 /// attributes can be stored pre-encoded (no variant machinery on the hot
-/// path). There is deliberately no parser here — consumers are Perfetto /
-/// chrome://tracing and scripts; the test suite carries its own parser to
-/// validate well-formedness from the outside.
+/// path). Decoding lives separately in json_reader.hpp (added for the
+/// benchmark ledger, which must read baselines back); trace/metrics hot
+/// paths only ever encode, and the test suite still carries its own parser
+/// to validate well-formedness from the outside.
 
 #include <cmath>
 #include <cstdint>

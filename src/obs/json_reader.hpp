@@ -1,0 +1,52 @@
+#pragma once
+/// \file json_reader.hpp
+/// Minimal JSON *decoding* counterpart to json.hpp, added for the benchmark
+/// ledger (report.hpp): `rahtm_bench --check` must read a committed baseline
+/// `BENCH_*.json` back, and schema validation must parse candidate files.
+/// This is a small recursive-descent parser over the JSON subset the repo's
+/// own writers emit (objects, arrays, strings, numbers, booleans, null); it
+/// preserves object key order so golden-file tests can assert on it.
+///
+/// It is deliberately not a general-purpose JSON library: no streaming, no
+/// \u surrogate pairs (non-BMP escapes decode to '?'), values are
+/// deep-copied trees. Telemetry hot paths never touch it.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rahtm::obs {
+
+/// A parsed JSON value. Objects keep their keys in file order.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool isObject() const { return kind == Kind::Object; }
+  bool isArray() const { return kind == Kind::Array; }
+  bool isNumber() const { return kind == Kind::Number; }
+  bool isString() const { return kind == Kind::String; }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  /// Object member lookup; throws rahtm::ParseError when absent.
+  const JsonValue& at(const std::string& key) const;
+
+  /// Typed accessors with a fallback for absent/mistyped members.
+  double numberOr(const std::string& key, double fallback) const;
+  std::string stringOr(const std::string& key,
+                       const std::string& fallback) const;
+};
+
+/// Parse a complete JSON document. Throws rahtm::ParseError with a byte
+/// offset on malformed input or trailing garbage.
+JsonValue parseJson(const std::string& text);
+
+}  // namespace rahtm::obs

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "obs/json.hpp"
+#include "obs/process.hpp"
 
 namespace rahtm::obs {
 
@@ -61,6 +62,33 @@ std::vector<std::int64_t> Histogram::bucketCounts() const {
     out[i] = counts_[i].load(std::memory_order_relaxed);
   }
   return out;
+}
+
+double Histogram::quantile(double q) const {
+  const std::int64_t n = count();
+  if (n == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double lo = min();
+  const double hi = max();
+  const double target = q * static_cast<double>(n);
+  const std::vector<std::int64_t> counts = bucketCounts();
+  double cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double c = static_cast<double>(counts[i]);
+    if (c > 0 && cum + c >= target) {
+      // Bucket i spans (bounds[i-1], bounds[i]]; the edge buckets borrow
+      // the observed min/max so estimates never leave the data range.
+      double bLo = i == 0 ? lo : bounds_[i - 1];
+      double bHi = i < bounds_.size() ? bounds_[i] : hi;
+      bLo = std::max(bLo, lo);
+      bHi = std::min(bHi, hi);
+      if (bHi < bLo) bHi = bLo;
+      const double frac = (target - cum) / c;
+      return bLo + (bHi - bLo) * frac;
+    }
+    cum += c;
+  }
+  return hi;
 }
 
 std::vector<double> expBuckets(double first, double factor, int count) {
@@ -136,7 +164,10 @@ void MetricsRegistry::writeJson(std::ostream& os) const {
        << ",\"sum\":" << jsonDouble(h->sum());
     if (h->count() > 0) {
       os << ",\"min\":" << jsonDouble(h->min())
-         << ",\"max\":" << jsonDouble(h->max());
+         << ",\"max\":" << jsonDouble(h->max())
+         << ",\"p50\":" << jsonDouble(h->quantile(0.50))
+         << ",\"p95\":" << jsonDouble(h->quantile(0.95))
+         << ",\"p99\":" << jsonDouble(h->quantile(0.99));
     }
     os << ",\"buckets\":[";
     const std::vector<std::int64_t> counts = h->bucketCounts();
@@ -149,7 +180,10 @@ void MetricsRegistry::writeJson(std::ostream& os) const {
     }
     os << "]}";
   }
-  os << "\n}}\n";
+  // Process-level context so every snapshot is interpretable on its own
+  // (how long the run took, how much memory it peaked at).
+  os << "\n},\"process\":{\"wall_seconds\":" << jsonDouble(processWallSeconds())
+     << ",\"peak_rss_bytes\":" << jsonInt(peakRssBytes()) << "}}\n";
 }
 
 }  // namespace rahtm::obs

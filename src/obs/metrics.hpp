@@ -69,6 +69,12 @@ class Histogram {
   /// Per-bucket counts; the last entry is the overflow bucket.
   std::vector<std::int64_t> bucketCounts() const;
 
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// bucket containing the target rank, clamped to the observed [min, max].
+  /// 0 when the histogram is empty. Snapshots embed p50/p95/p99 so summary
+  /// JSON is directly plottable without post-processing bucket counts.
+  double quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::int64_t>[]> counts_;  // bounds_.size() + 1

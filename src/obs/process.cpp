@@ -1,0 +1,42 @@
+#include "obs/process.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace rahtm::obs {
+
+namespace {
+// Captured at static-initialization time; all of the repo's executables
+// construct their telemetry before doing real work, so this is process
+// start for practical purposes.
+const std::chrono::steady_clock::time_point g_processStart =
+    std::chrono::steady_clock::now();
+}  // namespace
+
+double processWallSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_processStart)
+      .count();
+}
+
+std::int64_t peakRssBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::int64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%lld", reinterpret_cast<long long*>(&kb));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace rahtm::obs

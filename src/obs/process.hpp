@@ -1,0 +1,22 @@
+#pragma once
+/// \file process.hpp
+/// Process-level resource observations attached to every metrics / ledger
+/// snapshot: elapsed wall time and peak resident set size. Both are cheap
+/// point reads (a steady-clock subtraction and one /proc file scan), so
+/// snapshot writers call them unconditionally.
+
+#include <cstdint>
+
+namespace rahtm::obs {
+
+/// Seconds of wall time since this library was loaded into the process
+/// (static initialization time — for our executables, effectively process
+/// start).
+double processWallSeconds();
+
+/// Peak resident set size of the calling process in bytes. Read from
+/// /proc/self/status (VmHWM) on Linux; 0 on platforms without procfs or
+/// when the read fails — callers treat 0 as "unavailable".
+std::int64_t peakRssBytes();
+
+}  // namespace rahtm::obs

@@ -1,0 +1,137 @@
+#pragma once
+/// \file report.hpp
+/// The benchmark ledger: a canonical, versioned JSON record of one
+/// benchmark suite's measured results plus the environment fingerprint
+/// needed to interpret them (git SHA, compiler, build type, experiment
+/// scale, thread count, wall time, peak RSS).
+///
+/// The paper's argument is a set of measured deltas (MCL, hop-bytes,
+/// simulated cycles, mapping time); this layer makes the reproduction's own
+/// numbers machine-readable so they can be diffed across commits and gated
+/// in CI (`rahtm_bench --baseline FILE --check`, tools/rahtm_bench.cpp).
+///
+/// Writing uses json.hpp; reading uses json_reader.hpp. The writer emits
+/// keys in a fixed order (golden-file tested) so ledgers diff cleanly under
+/// version control.
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rahtm::obs {
+
+struct JsonValue;
+
+/// Schema identifier embedded in every ledger file. Bump the version when
+/// the layout changes incompatibly; readers reject unknown schemas.
+inline constexpr const char* kReportSchema = "rahtm.bench.report/v1";
+
+/// Where and how a ledger was produced. The scale fields mirror the
+/// RAHTM_NODES / RAHTM_CONC / RAHTM_BYTES / RAHTM_SIM_ITERS experiment
+/// knobs (bench/experiment.hpp) so a regression check can re-run the suite
+/// at the baseline's scale regardless of the current environment.
+struct EnvFingerprint {
+  std::string gitSha = "unknown";
+  std::string compiler = "unknown";
+  std::string buildType = "unknown";
+  std::string os = "unknown";
+  std::int64_t nodes = 0;
+  std::int64_t concentration = 0;
+  std::int64_t messageBytes = 0;
+  std::int64_t simIterations = 0;
+  std::int64_t threads = 0;
+  double wallSeconds = 0;
+  std::int64_t peakRssBytes = 0;
+};
+
+/// Fill the build/host half of the fingerprint (git SHA, compiler, build
+/// type, OS, wall clock, peak RSS). Scale fields are the caller's.
+EnvFingerprint currentEnvFingerprint();
+
+/// One measured configuration: a (benchmark, mapper) cell with its metric
+/// values in canonical order. The standard metric names are "comm_cycles",
+/// "mcl", "hop_bytes" and "map_seconds"; suites may add their own.
+struct RunRecord {
+  std::string benchmark;
+  std::string mapper;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  void add(const std::string& name, double value) {
+    metrics.emplace_back(name, value);
+  }
+  bool has(const std::string& name) const;
+  double metricOr(const std::string& name, double fallback) const;
+};
+
+/// A complete ledger: suite name, environment fingerprint, records.
+struct RunReport {
+  std::string suite;
+  EnvFingerprint env;
+  std::vector<RunRecord> records;
+
+  const RunRecord* find(const std::string& benchmark,
+                        const std::string& mapper) const;
+
+  /// Serialize as canonical JSON (fixed key order, 2-space indent).
+  void writeJson(std::ostream& os) const;
+};
+
+/// Schema validation: every problem found in a parsed ledger document
+/// (wrong schema string, missing keys, mistyped members). Empty == valid.
+std::vector<std::string> validateReportJson(const JsonValue& doc);
+
+/// Parse a ledger back. Throws rahtm::ParseError when the document is
+/// malformed or fails schema validation.
+RunReport readReport(std::istream& in);
+RunReport readReportFile(const std::string& path);
+
+// ---- Regression gate ------------------------------------------------------
+
+/// Per-metric relative thresholds (|delta| / max(|baseline|, 1e-12)). All
+/// standard metrics are lower-is-better: exceeding the threshold upward is
+/// a regression, exceeding it downward is flagged as an improvement (a hint
+/// that the baseline is stale) but passes.
+using ThresholdMap = std::map<std::string, double>;
+
+/// Defaults: mcl 2%, hop_bytes 2%, comm_cycles 5%, map_seconds unlimited
+/// (wall time is noisy; it is reported, never gated). Unknown metrics use
+/// kDefaultThreshold.
+ThresholdMap defaultThresholds();
+inline constexpr double kDefaultThreshold = 0.05;
+
+struct MetricCheck {
+  std::string benchmark;
+  std::string mapper;
+  std::string metric;
+  double baseline = 0;
+  double current = 0;
+  double relDelta = 0;   ///< (current - baseline) / max(|baseline|, 1e-12)
+  double threshold = 0;  ///< applied relative threshold
+  bool regression = false;
+  bool improvement = false;  ///< beyond threshold in the good direction
+};
+
+struct CheckResult {
+  std::vector<MetricCheck> checks;
+  /// Structural failures: suite/scale mismatch, records or metrics missing
+  /// from the candidate. Any entry fails the gate.
+  std::vector<std::string> problems;
+
+  bool pass() const;
+  std::size_t regressions() const;
+};
+
+/// Compare a candidate ledger against a committed baseline under the given
+/// thresholds. Records are matched by (benchmark, mapper); extra candidate
+/// records are ignored (new configurations do not fail old gates).
+CheckResult compareReports(const RunReport& baseline,
+                           const RunReport& candidate,
+                           const ThresholdMap& thresholds);
+
+/// Human-readable check table (one line per metric) plus problems; used by
+/// `rahtm_bench --check` and handy in test failure output.
+void printCheckResult(std::ostream& os, const CheckResult& result);
+
+}  // namespace rahtm::obs

@@ -52,6 +52,11 @@ void registerStandardMetrics(MetricsRegistry& registry) {
   registry.counter("rahtm.merge.candidates");
   registry.counter("rahtm.refine.passes");
   registry.counter("rahtm.refine.swaps");
+  // Per-phase quality attribution (core/rahtm.cpp recordPhaseQuality).
+  for (const char* phase : {"cluster", "pin", "merge", "refine"}) {
+    registry.gauge(std::string("rahtm.quality.") + phase + ".mcl");
+    registry.gauge(std::string("rahtm.quality.") + phase + ".hop_bytes");
+  }
   // Simulator.
   registry.counter("simnet.runs");
   registry.counter("simnet.cycles");

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <deque>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -88,13 +90,21 @@ class IterationSim {
     obs::ScopedSpan span(obs::tracer(), "simnet.run", "simnet");
     span.attr("stages", static_cast<std::int64_t>(stages.size()));
     loadStages(stages);
+    if (cfg_.linkCapture != nullptr) {
+      cfg_.linkCapture->channels.clear();
+      cfg_.linkCapture->samples.clear();
+      cfg_.linkCapture->sampleCycles = cfg_.statSampleCycles;
+    }
     PhaseResult result;
     std::int64_t cycle = 0;
-    if (hQueue_ != nullptr && cfg_.statSampleCycles > 0) {
+    const bool sampling =
+        (hQueue_ != nullptr || cfg_.linkCapture != nullptr) &&
+        cfg_.statSampleCycles > 0;
+    if (sampling) {
       while (remaining_ > 0) {
         RAHTM_REQUIRE(cycle < cfg_.maxCycles,
                       "simulate: cycle guard exceeded (livelock?)");
-        if (cycle % cfg_.statSampleCycles == 0) sampleQueueOccupancy();
+        if (cycle % cfg_.statSampleCycles == 0) sampleQueueOccupancy(cycle);
         step(cycle);
         ++cycle;
       }
@@ -125,6 +135,15 @@ class IterationSim {
       result.dimFlits[(i >> 1) % topo_.ndims()] +=
           static_cast<double>(q.flitsCarried);
       if (hChan_) hChan_->observe(static_cast<double>(q.flitsCarried));
+      if (cfg_.linkCapture != nullptr) {
+        ChannelLoad cl;
+        cl.src = q.node;
+        cl.dst = q.linkDst;
+        cl.dim = static_cast<std::int32_t>((i >> 1) % topo_.ndims());
+        cl.dir = static_cast<std::int32_t>(i & 1);
+        cl.flits = q.flitsCarried;
+        cfg_.linkCapture->channels.push_back(cl);
+      }
     }
     result.maxChannelFlits = maxCh;
     result.avgChannelFlits = validCh ? sumCh / static_cast<double>(validCh) : 0;
@@ -316,13 +335,22 @@ class IterationSim {
     }
   }
 
-  /// Observe the occupancy of every valid link queue (telemetry sample).
-  void sampleQueueOccupancy() {
+  /// Observe the occupancy of every valid link queue (telemetry sample),
+  /// into the histogram and/or the link-capture time series.
+  void sampleQueueOccupancy(std::int64_t cycle) {
+    LinkLoadSample sample;
+    sample.cycle = cycle;
     for (std::size_t i = 0; i < slots_; ++i) {
       const Queue& q = queues_[i];
       if (q.linkDst == kInvalidNode) continue;
-      hQueue_->observe(static_cast<double>(q.flitsQueued));
+      if (hQueue_ != nullptr) {
+        hQueue_->observe(static_cast<double>(q.flitsQueued));
+      }
+      sample.queuedFlits += q.flitsQueued;
+      sample.maxQueueFlits = std::max(sample.maxQueueFlits, q.flitsQueued);
+      if (!q.packets.empty()) ++sample.activeLinks;
     }
+    if (cfg_.linkCapture != nullptr) cfg_.linkCapture->samples.push_back(sample);
   }
 
   void step(std::int64_t cycle) {
@@ -412,6 +440,46 @@ class IterationSim {
 };
 
 }  // namespace
+
+void writeLinkHeatmapJson(std::ostream& os, const Torus& topo,
+                          const LinkLoadCapture& capture) {
+  os << "{\n";
+  os << "  \"schema\": \"rahtm.simnet.link_heatmap/v1\",\n";
+  os << "  \"topology\": " << obs::jsonString(topo.describe()) << ",\n";
+  os << "  \"shape\": [";
+  for (std::size_t d = 0; d < topo.ndims(); ++d) {
+    if (d != 0) os << ", ";
+    os << topo.extent(d);
+  }
+  os << "],\n";
+  os << "  \"sample_cycles\": " << obs::jsonInt(capture.sampleCycles) << ",\n";
+  os << "  \"channels\": [";
+  for (std::size_t i = 0; i < capture.channels.size(); ++i) {
+    const ChannelLoad& c = capture.channels[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"src\": " << obs::jsonInt(c.src) << ", \"src_coord\": [";
+    const Coord sc = topo.coordOf(c.src);
+    for (std::size_t d = 0; d < sc.size(); ++d) {
+      if (d != 0) os << ", ";
+      os << static_cast<int>(sc[d]);
+    }
+    os << "], \"dst\": " << obs::jsonInt(c.dst)
+       << ", \"dim\": " << obs::jsonInt(c.dim)
+       << ", \"dir\": " << obs::jsonString(c.dir == 0 ? "+" : "-")
+       << ", \"flits\": " << obs::jsonInt(c.flits) << "}";
+  }
+  os << "\n  ],\n";
+  os << "  \"occupancy\": [";
+  for (std::size_t i = 0; i < capture.samples.size(); ++i) {
+    const LinkLoadSample& s = capture.samples[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"cycle\": " << obs::jsonInt(s.cycle)
+       << ", \"queued_flits\": " << obs::jsonInt(s.queuedFlits)
+       << ", \"max_queue_flits\": " << obs::jsonInt(s.maxQueueFlits)
+       << ", \"active_links\": " << obs::jsonInt(s.activeLinks) << "}";
+  }
+  os << "\n  ]\n}\n";
+}
 
 PhaseResult simulatePhase(const Torus& topo, const Mapping& mapping,
                           const Phase& phase, const SimConfig& config) {

@@ -19,6 +19,7 @@
 ///    adaptivity senses congestion through queue occupancy).
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "mapping/mapping.hpp"
@@ -26,6 +27,39 @@
 #include "topology/torus.hpp"
 
 namespace rahtm::simnet {
+
+/// Total traffic carried by one directed physical channel over a run.
+struct ChannelLoad {
+  NodeId src = kInvalidNode;      ///< upstream node
+  NodeId dst = kInvalidNode;      ///< downstream node
+  std::int32_t dim = 0;           ///< torus dimension of the link
+  std::int32_t dir = 0;           ///< 0 = plus, 1 = minus
+  std::int64_t flits = 0;         ///< flits transmitted
+};
+
+/// One time-bucketed observation of global queue occupancy.
+struct LinkLoadSample {
+  std::int64_t cycle = 0;
+  std::int64_t queuedFlits = 0;     ///< flits waiting across all link queues
+  std::int64_t maxQueueFlits = 0;   ///< deepest single link queue
+  std::int32_t activeLinks = 0;     ///< link queues with packets waiting
+};
+
+/// Per-channel load matrix plus a time-bucketed occupancy series, captured
+/// when SimConfig::linkCapture points here. This is the raw material behind
+/// `--link-heatmap`: contention hot-spots become inspectable per link and
+/// over time instead of only summarized as MCL / histogram aggregates.
+struct LinkLoadCapture {
+  std::vector<ChannelLoad> channels;    ///< every valid directed channel
+  std::vector<LinkLoadSample> samples;  ///< one per statSampleCycles tick
+  std::int64_t sampleCycles = 0;        ///< sampling period actually used
+};
+
+/// Serialize a capture as JSON (schema "rahtm.simnet.link_heatmap/v1"):
+/// topology shape, per-channel load matrix (src/dst node + coordinates,
+/// dimension, direction, flits), occupancy time series.
+void writeLinkHeatmapJson(std::ostream& os, const Torus& topo,
+                          const LinkLoadCapture& capture);
 
 enum class RoutingMode {
   /// Per-hop least-occupied minimal output, ties broken uniformly at random
@@ -53,9 +87,15 @@ struct SimConfig {
   std::int64_t maxCycles = 500'000'000; ///< safety guard
   /// Telemetry sampling period: every this many cycles, the occupancy of
   /// each valid link queue is observed into the
-  /// "simnet.link_queue_flits" histogram. Only active when a metrics
-  /// registry is installed (obs::setMetrics); zero disables sampling.
+  /// "simnet.link_queue_flits" histogram (when a metrics registry is
+  /// installed, obs::setMetrics) and into linkCapture's occupancy series
+  /// (when set); zero disables sampling.
   std::int64_t statSampleCycles = 1024;
+  /// When non-null, the simulator fills this with the per-channel load
+  /// matrix and the time-bucketed occupancy series (see LinkLoadCapture).
+  /// The pointer must stay valid for the whole simulate* call; repeated
+  /// runs overwrite the capture.
+  LinkLoadCapture* linkCapture = nullptr;
 };
 
 struct PhaseResult {

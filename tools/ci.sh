@@ -32,4 +32,19 @@ run_config sanitize "" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 run_config tsan 'test_exec|test_subproblem|test_rahtm' \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRAHTM_SANITIZE=thread
 
-echo "==== CI passed (release + sanitize + tsan)"
+# Benchmark-regression gate: emit the smoke ledger at the small scale,
+# validate the schema, then compare against the committed baseline (the
+# check re-runs the suite at the scale recorded in the baseline's
+# fingerprint, so the env here only governs the freshly emitted ledger).
+# Mapper and simulator are deterministic and single-threaded in the
+# suites, so any metric drift beyond the thresholds is a real change.
+echo "==== [bench-smoke] ledger + regression gate"
+bench_bin="$repo/build-ci-release/tools/rahtm_bench"
+bench_out="$repo/build-ci-release/bench-smoke"
+mkdir -p "$bench_out"
+RAHTM_NODES=32 RAHTM_CONC=2 RAHTM_SIM_ITERS=1 \
+  "$bench_bin" --suites smoke --out "$bench_out"
+"$bench_bin" --validate "$bench_out/BENCH_smoke.json"
+"$bench_bin" --baseline "$repo/bench/baseline/BENCH_smoke.json" --check
+
+echo "==== CI passed (release + sanitize + tsan + bench-smoke)"

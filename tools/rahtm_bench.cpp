@@ -1,0 +1,160 @@
+/// \file rahtm_bench.cpp
+/// Benchmark-ledger driver: runs named suites of the paper-reproduction
+/// experiments (bench/suites.hpp) and emits canonical `BENCH_<suite>.json`
+/// ledgers (obs/report.hpp), so the repo's own numbers are machine-readable
+/// and diffable across commits.
+///
+/// Modes:
+///   rahtm_bench --suites fig8,fig9 --out DIR
+///       Run each suite at the environment scale (RAHTM_NODES/CONC/BYTES)
+///       and write DIR/BENCH_<suite>.json.
+///   rahtm_bench --baseline FILE --check [--candidate FILE]
+///       Regression gate: compare a candidate ledger against a committed
+///       baseline under per-metric relative thresholds; exit nonzero on any
+///       regression or structural mismatch. Without --candidate the
+///       baseline's suite is re-run at the baseline's recorded scale.
+///   rahtm_bench --validate FILE
+///       Parse FILE and check it against the ledger schema; exit nonzero
+///       with the list of problems if invalid.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench/suites.hpp"
+#include "common/cli.hpp"
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "obs/json_reader.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+using namespace rahtm;
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " --suites S1,S2,... [--out DIR]\n"
+      << "       " << argv0 << " --baseline FILE --check [--candidate FILE]\n"
+      << "                  [--thresholds metric=rel,...] [--out DIR]\n"
+      << "       " << argv0 << " --validate FILE\n"
+      << "       [--trace-out FILE] [--trace-summary FILE] "
+         "[--metrics-out FILE] [--verbose]\n"
+      << "\n"
+      << "suites: table1, fig8, fig9, fig10, ablation_refine, smoke\n"
+      << "\n"
+      << "Each suite writes BENCH_<suite>.json: a versioned ledger of the\n"
+      << "suite's measured metrics (MCL, hop-bytes, simulated cycles,\n"
+      << "mapping time) plus an environment fingerprint (git SHA, compiler,\n"
+      << "scale, wall time, peak RSS). --check re-runs the baseline's suite\n"
+      << "at the baseline's recorded scale, so it is reproducible whatever\n"
+      << "the current RAHTM_NODES/CONC/BYTES say. Default thresholds: mcl\n"
+      << "and hop_bytes 2%, comm/overall cycles 5%, map_seconds ungated;\n"
+      << "override with --thresholds mcl=0.1,comm_cycles=0.2.\n";
+  return 2;
+}
+
+obs::ThresholdMap thresholdsFromFlag(const std::string& spec) {
+  obs::ThresholdMap thresholds = obs::defaultThresholds();
+  if (spec.empty()) return thresholds;
+  for (const std::string& part : split(spec, ',')) {
+    const auto eq = part.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw ParseError("--thresholds: expected metric=rel, got '" + part + "'");
+    }
+    thresholds[part.substr(0, eq)] = parseDouble(part.substr(eq + 1));
+  }
+  return thresholds;
+}
+
+void writeLedger(const obs::RunReport& report, const std::string& dir) {
+  const std::string path = dir + "/BENCH_" + report.suite + ".json";
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write " + path);
+  report.writeJson(out);
+  out.flush();
+  if (!out) throw Error("write failed for " + path);
+  std::cerr << "wrote " << path << " (" << report.records.size()
+            << " records)\n";
+}
+
+int runValidate(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::vector<std::string> problems;
+  try {
+    const obs::JsonValue doc = obs::parseJson(ss.str());
+    problems = obs::validateReportJson(doc);
+  } catch (const std::exception& e) {
+    problems.push_back(e.what());
+  }
+  if (problems.empty()) {
+    std::cout << path << ": schema-valid ledger\n";
+    return 0;
+  }
+  std::cerr << path << ": INVALID ledger:\n";
+  for (const std::string& p : problems) std::cerr << "  " << p << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv);
+    if (args.has("help")) return usage(argv[0]);
+    if (args.getBool("verbose")) setLogLevel(LogLevel::Info);
+    const auto telemetry = bench::telemetryFromCli(argc, argv);
+
+    if (args.has("validate")) {
+      return runValidate(args.getString("validate", ""));
+    }
+
+    const std::string outDir = args.getString("out", ".");
+
+    if (args.has("baseline")) {
+      const obs::RunReport baseline =
+          obs::readReportFile(args.getString("baseline", ""));
+      obs::RunReport candidate;
+      if (args.has("candidate")) {
+        candidate = obs::readReportFile(args.getString("candidate", ""));
+      } else {
+        std::cerr << "re-running suite '" << baseline.suite
+                  << "' at the baseline's scale (" << baseline.env.nodes
+                  << " nodes, concentration " << baseline.env.concentration
+                  << ")\n";
+        candidate = bench::runSuite(
+            baseline.suite, bench::scaleFromFingerprint(baseline.env));
+        if (args.has("out")) writeLedger(candidate, outDir);
+      }
+      const obs::CheckResult result = obs::compareReports(
+          baseline, candidate,
+          thresholdsFromFlag(args.getString("thresholds", "")));
+      obs::printCheckResult(std::cout, result);
+      if (!args.getBool("check")) {
+        // Comparison requested without gating: always exit 0.
+        return 0;
+      }
+      return result.pass() ? 0 : 1;
+    }
+
+    if (!args.has("suites")) return usage(argv[0]);
+    const bench::ExperimentScale scale = bench::ExperimentScale::fromEnv();
+    for (const std::string& suite :
+         split(args.getString("suites", ""), ',')) {
+      std::cerr << "[rahtm_bench] running suite '" << suite << "' ("
+                << scale.ranks() << " ranks on " << scale.machine.describe()
+                << ")\n";
+      writeLedger(bench::runSuite(suite, scale), outDir);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

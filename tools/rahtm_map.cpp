@@ -58,6 +58,7 @@ int usage(const char* argv0) {
          "[--no-refine] [--verbose]\n"
       << "          [--threads N] [--trace-out FILE] [--trace-summary FILE] "
          "[--metrics-out FILE]\n"
+      << "          [--link-heatmap FILE]\n"
       << "\n"
       << "--threads N parallelizes the RAHTM compute phases over N threads\n"
       << "(0 = all hardware threads; the RAHTM_THREADS environment variable\n"
@@ -70,7 +71,12 @@ int usage(const char* argv0) {
       << "through the network simulator so the metrics include measured\n"
       << "per-link load. The RAHTM_TRACE_OUT / RAHTM_TRACE_SUMMARY /\n"
       << "RAHTM_METRICS_OUT environment variables are fallbacks for the\n"
-      << "flags.\n";
+      << "flags.\n"
+      << "\n"
+      << "--link-heatmap FILE simulates the finished mapping (even with\n"
+      << "telemetry off) and writes the per-channel flit-load matrix plus a\n"
+      << "time-bucketed queue-occupancy series as JSON, for plotting where\n"
+      << "the mapping actually puts traffic.\n";
   return 2;
 }
 
@@ -128,7 +134,9 @@ int main(int argc, char** argv) {
       grid = w.logicalGrid;
       simStages = w.phases;
     }
-    if (telemetry.enabled() && simStages.empty()) {
+    const std::string heatmapPath = args.getString("link-heatmap", "");
+    const bool simulate = telemetry.enabled() || !heatmapPath.empty();
+    if (simulate && simStages.empty()) {
       // Profile input carries no per-stage structure: simulate the
       // aggregate communication matrix as one phase.
       simnet::Phase all;
@@ -201,13 +209,26 @@ int main(int argc, char** argv) {
     std::cerr << "  wrote " << outPath << "\n";
 
     // ---- Telemetry: measure the mapping in the simulator, dump files ------
-    if (telemetry.enabled()) {
+    if (simulate) {
       simnet::SimConfig sim;
       sim.injectionBandwidth = 8;
+      simnet::LinkLoadCapture capture;
+      if (!heatmapPath.empty()) sim.linkCapture = &capture;
       const simnet::PhaseResult r =
           simnet::simulateIteration(machine, mapping, simStages, sim);
       std::cerr << "  simulated iteration: " << r.cycles << " cycles, max "
                 << r.maxChannelFlits << " flits on the busiest link\n";
+      if (!heatmapPath.empty()) {
+        std::ofstream heat(heatmapPath);
+        if (!heat) {
+          std::cerr << "cannot write " << heatmapPath << "\n";
+          return 1;
+        }
+        simnet::writeLinkHeatmapJson(heat, machine, capture);
+        std::cerr << "  wrote " << heatmapPath << " ("
+                  << capture.channels.size() << " channels, "
+                  << capture.samples.size() << " occupancy samples)\n";
+      }
       telemetry.flush();
       if (!tele.traceOutPath.empty()) {
         std::cerr << "  wrote " << tele.traceOutPath << "\n";
