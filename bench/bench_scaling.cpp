@@ -28,8 +28,9 @@ int main(int argc, char** argv) {
       {bgqPartition128(), 8},                    // 1024 ranks, 128 nodes
       {bgqPartition512(), 2},                    // 1024 ranks, 512 nodes
       // 4096 ranks on the 512-node partition also runs (RAHTM_CONC=8 via
-      // bench_fig10's env knobs) but takes tens of minutes: the O(n^2)
-      // refinement sweeps dominate — exactly the §VI scaling discussion.
+      // bench_fig10's env knobs): with delta-evaluated probes the refinement
+      // pass is no longer the bottleneck — the merge phase's per-level
+      // re-evaluation dominates at the top end (the §VI scaling discussion).
   };
 
   std::cout << "Mapping-time scaling (CG pattern, concentration-8 style)\n\n";
@@ -62,7 +63,9 @@ int main(int argc, char** argv) {
     std::cout << std::setprecision(6);
   }
   std::cout << "\nThe paper reports minutes-to-hours at 16K ranks on CPLEX; "
-               "this\nimplementation's portfolio keeps the growth polynomial "
-               "(refinement's\nO(n^2) swap sweeps dominate at the top end).\n";
+               "this\nimplementation's portfolio keeps the growth polynomial. "
+               "Refinement probes\nare delta-evaluated (O(degree) per "
+               "candidate, routing/delta_eval.hpp), so\nthe merge phase "
+               "dominates at the top end.\n";
   return 0;
 }

@@ -1,7 +1,10 @@
 #include "bench/suites.hpp"
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "core/refine.hpp"
+#include "core/subproblem.hpp"
 #include "graph/stats.hpp"
 #include "mapping/permutation.hpp"
 #include "profile/profile.hpp"
@@ -152,10 +155,89 @@ obs::RunReport suiteAblationRefine(const ExperimentScale& scale) {
   return report;
 }
 
+obs::RunReport suiteRefineMicro(const ExperimentScale& scale) {
+  obs::RunReport report;
+  report.suite = "refine_micro";
+
+  // Refinement micro-benchmark: one CG rank per machine node so a
+  // permutation of the nodes is a legal one-to-one mapping, then time
+  // refinePlacement under each candidate-generation mode from a fixed-seed
+  // scrambled start (the identity is already locally optimal for CG, which
+  // would leave nothing to measure). Quality (mcl / hop_bytes) is gated by
+  // the ledger; throughput and search-effort counters are reported only.
+  const int n = static_cast<int>(scale.machine.numNodes());
+  const Workload w = makeNasByName("CG", n, scale.params);
+  const CommGraph g = w.commGraph();
+  const struct {
+    const char* mapper;
+    MapObjective objective;
+    RefineCandidates candidates;
+  } modes[] = {
+      {"refine-allpairs", MapObjective::Mcl, RefineCandidates::AllPairs},
+      {"refine-pruned", MapObjective::Mcl, RefineCandidates::Pruned},
+      {"refine-hopbytes", MapObjective::HopBytes, RefineCandidates::Auto},
+  };
+  for (const auto& mode : modes) {
+    std::vector<NodeId> place(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) place[static_cast<std::size_t>(i)] = i;
+    Rng(0xbad5eed).shuffle(place);
+    RefineConfig cfg;
+    cfg.objective = mode.objective;
+    cfg.candidates = mode.candidates;
+    Timer t;
+    const RefineResult r = refinePlacement(scale.machine, g, place, cfg);
+    const double seconds = t.seconds();
+    obs::RunRecord record;
+    record.benchmark = "CG";
+    record.mapper = mode.mapper;
+    record.add(mode.objective == MapObjective::Mcl ? "mcl" : "hop_bytes",
+               r.objectiveAfter);
+    record.add("objective_before", r.objectiveBefore);
+    record.add("swaps", static_cast<double>(r.swapsApplied));
+    record.add("passes", static_cast<double>(r.passes));
+    record.add("probes", static_cast<double>(r.probes));
+    record.add("dense_sweeps", static_cast<double>(r.denseSweeps));
+    record.add("refine_seconds", seconds);
+    record.add("swaps_per_sec",
+               seconds > 0 ? static_cast<double>(r.swapsApplied) / seconds : 0);
+    record.add("probes_per_sec",
+               seconds > 0 ? static_cast<double>(r.probes) / seconds : 0);
+    report.records.push_back(std::move(record));
+  }
+
+  // Annealing micro-benchmark on a fixed 2x2x2x2 cube (independent of the
+  // scale's machine, which is usually too large for the anneal tier): the
+  // delta engine drives probeSwap/probeMove here, so moves/sec tracks the
+  // same hot path the hierarchical pipeline exercises per subproblem.
+  {
+    const Torus cube = Torus::torus({2, 2, 2, 2});
+    const Workload aw = makeNasByName("CG", 16, scale.params);
+    Timer t;
+    const SubproblemSolution s =
+        annealSearch(aw.commGraph(), cube, SubproblemConfig{});
+    const double seconds = t.seconds();
+    obs::RunRecord record;
+    record.benchmark = "CG16";
+    record.mapper = "anneal";
+    record.add("mcl", s.objective);
+    record.add("iterations", static_cast<double>(s.iterations));
+    record.add("probes", static_cast<double>(s.probes));
+    record.add("commits", static_cast<double>(s.commits));
+    record.add("anneal_seconds", seconds);
+    record.add("moves_per_sec",
+               seconds > 0 ? static_cast<double>(s.probes) / seconds : 0);
+    report.records.push_back(std::move(record));
+  }
+
+  report.env = fingerprint(scale);
+  return report;
+}
+
 }  // namespace
 
 std::vector<std::string> knownSuites() {
-  return {"table1", "fig8", "fig9", "fig10", "ablation_refine", "smoke"};
+  return {"table1", "fig8",  "fig9",        "fig10",
+          "ablation_refine", "refine_micro", "smoke"};
 }
 
 obs::RunReport runSuite(const std::string& name,
@@ -169,11 +251,12 @@ obs::RunReport runSuite(const std::string& name,
     return suiteStudy("fig10", {"BT", "SP", "CG"}, scale, /*overall=*/false);
   }
   if (name == "ablation_refine") return suiteAblationRefine(scale);
+  if (name == "refine_micro") return suiteRefineMicro(scale);
   if (name == "smoke") {
     return suiteStudy("smoke", {"CG"}, scale, /*overall=*/false);
   }
   throw ParseError("unknown suite '" + name + "' (known: table1, fig8, fig9, "
-                   "fig10, ablation_refine, smoke)");
+                   "fig10, ablation_refine, refine_micro, smoke)");
 }
 
 ExperimentScale scaleFromFingerprint(const obs::EnvFingerprint& env) {

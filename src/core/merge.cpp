@@ -9,43 +9,12 @@
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "routing/delta_eval.hpp"
 #include "routing/oblivious.hpp"
 
 namespace rahtm {
 
 namespace {
-
-/// Memoized minimal-path channel fractions per (src,dst) node pair. The
-/// beam search evaluates the same node pairs across thousands of
-/// candidates; caching the path decomposition turns each flow evaluation
-/// into a short scan of (channel, fraction) entries.
-class PathCache {
- public:
-  explicit PathCache(const Torus& topo) : topo_(&topo) {}
-
-  template <typename Sink>
-  void forFlow(NodeId src, NodeId dst, double volume, Sink&& sink) {
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
-        static_cast<std::uint32_t>(dst);
-    auto it = cache_.find(key);
-    if (it == cache_.end()) {
-      std::vector<std::pair<ChannelId, double>> entries;
-      forEachUniformMinimalLoad(
-          *topo_, topo_->coordOf(src), topo_->coordOf(dst), 1.0,
-          [&entries](ChannelId c, double frac) { entries.push_back({c, frac}); });
-      it = cache_.emplace(key, std::move(entries)).first;
-    }
-    for (const auto& [channel, frac] : it->second) {
-      sink(channel, volume * frac);
-    }
-  }
-
- private:
-  const Torus* topo_;
-  std::unordered_map<std::uint64_t, std::vector<std::pair<ChannelId, double>>>
-      cache_;
-};
 
 /// Scratch accumulator for candidate evaluation: a dense per-channel delta
 /// with a touched list, so clearing costs O(touched).
@@ -151,14 +120,12 @@ MergeResult mergeChildren(const Torus& regionTopo, const Shape& childShape,
       }
     }
   }
-  // flowsTouching[ci] = flows with at least one endpoint in child ci.
-  std::vector<std::vector<std::size_t>> flowsTouching(children.size());
-  for (std::size_t fi = 0; fi < flows.size(); ++fi) {
-    const std::size_t ca = childOfCluster[flows[fi].a];
-    const std::size_t cb = childOfCluster[flows[fi].b];
-    flowsTouching[ca].push_back(fi);
-    if (cb != ca) flowsTouching[cb].push_back(fi);
-  }
+  // flowsTouching.of(ci) = flows with at least one endpoint in child ci.
+  const FlowIncidence flowsTouching = FlowIncidence::build(
+      flows.size(), children.size(), [&](std::size_t fi) {
+        return std::pair<std::size_t, std::size_t>{childOfCluster[flows[fi].a],
+                                                   childOfCluster[flows[fi].b]};
+      });
 
   // ---- Orientations ------------------------------------------------------
   std::vector<Orientation> orients = enumerateOrientations(childShape);
@@ -281,7 +248,15 @@ MergeResult mergeChildren(const Torus& regionTopo, const Shape& childShape,
   std::size_t pinnedLineage = 0;
 
   LoadDelta delta(regionTopo.numChannelSlots());
-  PathCache pathCache(regionTopo);
+  // Flat SoA route cache (shared engine infrastructure); built lazily —
+  // one region call is single-threaded.
+  RouteTable routeTable(regionTopo);
+  const auto forFlow = [&](NodeId src, NodeId dst, double volume, auto&& sink) {
+    const RouteTable::Span r = routeTable.get(src, dst);
+    for (std::size_t i = 0; i < r.size; ++i) {
+      sink(r.channels[i], volume * r.fracs[i]);
+    }
+  };
   std::vector<NodeId> childPos;
 
   struct Candidate {
@@ -346,7 +321,7 @@ MergeResult mergeChildren(const Torus& regionTopo, const Shape& childShape,
             delta.clear();
             // Route the new block's incident flows whose peer is placed
             // (or inside the block itself).
-            for (const std::size_t fi : flowsTouching[ci]) {
+            for (const std::uint32_t fi : flowsTouching.of(ci)) {
               const FlowRef& f = flows[fi];
               const NodeId na = childOfCluster[f.a] == ci
                                     ? childPos[f.a - clusterBase[ci]]
@@ -357,7 +332,7 @@ MergeResult mergeChildren(const Torus& regionTopo, const Shape& childShape,
               if (na == kInvalidNode || nb == kInvalidNode || na == nb) {
                 continue;
               }
-              pathCache.forFlow(
+              forFlow(
                   na, nb, f.bytes,
                   [&delta](ChannelId c, double v) { delta.add(c, v); });
             }
@@ -370,7 +345,7 @@ MergeResult mergeChildren(const Torus& regionTopo, const Shape& childShape,
             objective = m;
           } else {
             double hb = entry.hopBytes;
-            for (const std::size_t fi : flowsTouching[ci]) {
+            for (const std::uint32_t fi : flowsTouching.of(ci)) {
               const FlowRef& f = flows[fi];
               const NodeId na = childOfCluster[f.a] == ci
                                     ? childPos[f.a - clusterBase[ci]]
@@ -399,7 +374,7 @@ MergeResult mergeChildren(const Torus& regionTopo, const Shape& childShape,
         placeChildPin(ci, childPos);
         if (useLoads) {
           delta.clear();
-          for (const std::size_t fi : flowsTouching[ci]) {
+          for (const std::uint32_t fi : flowsTouching.of(ci)) {
             const FlowRef& f = flows[fi];
             const NodeId na = childOfCluster[f.a] == ci
                                   ? childPos[f.a - clusterBase[ci]]
@@ -408,7 +383,7 @@ MergeResult mergeChildren(const Torus& regionTopo, const Shape& childShape,
                                   ? childPos[f.b - clusterBase[ci]]
                                   : entry.localNode[f.b];
             if (na == kInvalidNode || nb == kInvalidNode || na == nb) continue;
-            pathCache.forFlow(
+            forFlow(
                 na, nb, f.bytes,
                 [&](ChannelId c, double v) { delta.add(c, v); });
           }
@@ -420,7 +395,7 @@ MergeResult mergeChildren(const Torus& regionTopo, const Shape& childShape,
           pin.objective = m;
         } else {
           double hb = entry.hopBytes;
-          for (const std::size_t fi : flowsTouching[ci]) {
+          for (const std::uint32_t fi : flowsTouching.of(ci)) {
             const FlowRef& f = flows[fi];
             const NodeId na = childOfCluster[f.a] == ci
                                   ? childPos[f.a - clusterBase[ci]]
@@ -455,14 +430,14 @@ MergeResult mergeChildren(const Torus& regionTopo, const Shape& childShape,
         e.localNode[base + k] = childPos[k];
       }
       if (useLoads) {
-        for (const std::size_t fi : flowsTouching[ci]) {
+        for (const std::uint32_t fi : flowsTouching.of(ci)) {
           const FlowRef& f = flows[fi];
           const NodeId na = e.localNode[f.a];
           const NodeId nb = e.localNode[f.b];
           // Only flows fully placed *now* and not counted before: exactly
           // those touching ci with both endpoints placed.
           if (na == kInvalidNode || nb == kInvalidNode || na == nb) continue;
-          pathCache.forFlow(na, nb, f.bytes, [&e](ChannelId ch, double v) {
+          forFlow(na, nb, f.bytes, [&e](ChannelId ch, double v) {
             e.loads[static_cast<std::size_t>(ch)] += v;
           });
         }

@@ -1,112 +1,63 @@
 #include "core/refine.hpp"
 
-#include <cmath>
-#include <unordered_map>
+#include <algorithm>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "routing/evaluator.hpp"
-#include "routing/oblivious.hpp"
+#include "routing/delta_eval.hpp"
 
 namespace rahtm {
 
 namespace {
 
-/// Incremental swap evaluation: maintains the dense channel-load vector,
-/// its maximum and its sum of squares; a swap only re-routes the flows
-/// incident to the two swapped vertices, so evaluation cost is proportional
-/// to their degree instead of the whole graph.
-class SwapState {
- public:
-  SwapState(const Torus& topo, const CommGraph& graph,
-            std::vector<NodeId>& placement)
-      : topo_(topo),
-        graph_(graph),
-        placement_(placement),
-        loads_(static_cast<std::size_t>(topo.numChannelSlots()), 0.0) {
-    flowsTouching_.resize(static_cast<std::size_t>(graph.numRanks()));
-    const auto& flows = graph.flows();
-    for (std::size_t i = 0; i < flows.size(); ++i) {
-      flowsTouching_[static_cast<std::size_t>(flows[i].src)].push_back(i);
-      if (flows[i].dst != flows[i].src) {
-        flowsTouching_[static_cast<std::size_t>(flows[i].dst)].push_back(i);
+/// Flat CSR adjacency of topology nodes (one step along any dimension).
+struct NodeAdjacency {
+  std::vector<std::size_t> offsets;
+  std::vector<NodeId> nodes;
+
+  static NodeAdjacency build(const Torus& topo) {
+    NodeAdjacency adj;
+    const auto n = static_cast<std::size_t>(topo.numNodes());
+    adj.offsets.reserve(n + 1);
+    adj.offsets.push_back(0);
+    for (std::size_t node = 0; node < n; ++node) {
+      const Coord c = topo.coordOf(static_cast<NodeId>(node));
+      for (std::size_t dim = 0; dim < topo.ndims(); ++dim) {
+        for (const Dir dir : {Dir::Plus, Dir::Minus}) {
+          if (const auto nb = topo.neighbor(c, dim, dir)) {
+            adj.nodes.push_back(topo.nodeId(*nb));
+          }
+        }
       }
+      adj.offsets.push_back(adj.nodes.size());
     }
-    for (const Flow& f : flows) applyFlow(f, +1.0);
-    recomputeStats();
+    return adj;
   }
 
-  double mcl() const { return max_; }
-  double sumSquares() const { return sumSq_; }
-
-  /// Swap the nodes of vertices a and b and update all statistics.
-  void swap(RankId a, RankId b) {
-    routeIncident(a, b, -1.0);
-    std::swap(placement_[static_cast<std::size_t>(a)],
-              placement_[static_cast<std::size_t>(b)]);
-    routeIncident(a, b, +1.0);
-    recomputeStats();
+  const NodeId* begin(std::size_t node) const {
+    return nodes.data() + offsets[node];
   }
-
- private:
-  void routeIncident(RankId a, RankId b, double sign) {
-    for (const std::size_t fi : flowsTouching_[static_cast<std::size_t>(a)]) {
-      applyFlow(graph_.flows()[fi], sign);
-    }
-    for (const std::size_t fi : flowsTouching_[static_cast<std::size_t>(b)]) {
-      const Flow& f = graph_.flows()[fi];
-      // Flows between a and b were already handled in a's list.
-      if (f.src == a || f.dst == a) continue;
-      applyFlow(f, sign);
-    }
+  const NodeId* end(std::size_t node) const {
+    return nodes.data() + offsets[node + 1];
   }
-
-  void applyFlow(const Flow& f, double sign) {
-    const NodeId u = placement_[static_cast<std::size_t>(f.src)];
-    const NodeId v = placement_[static_cast<std::size_t>(f.dst)];
-    if (u == v) return;
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
-        static_cast<std::uint32_t>(v);
-    auto it = cache_.find(key);
-    if (it == cache_.end()) {
-      std::vector<std::pair<ChannelId, double>> entries;
-      forEachUniformMinimalLoad(
-          topo_, topo_.coordOf(u), topo_.coordOf(v), 1.0,
-          [&entries](ChannelId c, double frac) { entries.push_back({c, frac}); });
-      it = cache_.emplace(key, std::move(entries)).first;
-    }
-    for (const auto& [channel, frac] : it->second) {
-      loads_[static_cast<std::size_t>(channel)] += sign * frac * f.bytes;
-    }
-  }
-
-  void recomputeStats() {
-    max_ = 0;
-    sumSq_ = 0;
-    for (double& v : loads_) {
-      if (v < 0 && v > -1e-7) v = 0;  // scrub cancellation residue
-      max_ = std::max(max_, v);
-      sumSq_ += v * v;
-    }
-  }
-
-  const Torus& topo_;
-  const CommGraph& graph_;
-  std::vector<NodeId>& placement_;
-  std::vector<double> loads_;
-  std::vector<std::vector<std::size_t>> flowsTouching_;
-  std::unordered_map<std::uint64_t,
-                     std::vector<std::pair<ChannelId, double>>>
-      cache_;
-  double max_ = 0;
-  double sumSq_ = 0;
 };
 
-}  // namespace
-
-namespace {
+/// Unique communication partners per vertex, ascending.
+std::vector<std::vector<RankId>> buildVertexNeighbors(const CommGraph& g) {
+  std::vector<std::vector<RankId>> nbrs(
+      static_cast<std::size_t>(g.numRanks()));
+  for (const Flow& f : g.flows()) {
+    if (f.src == f.dst) continue;
+    nbrs[static_cast<std::size_t>(f.src)].push_back(f.dst);
+    nbrs[static_cast<std::size_t>(f.dst)].push_back(f.src);
+  }
+  for (auto& v : nbrs) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return nbrs;
+}
 
 /// Swap-search body (wrapped by refinePlacement for telemetry).
 RefineResult refineImpl(const Torus& topo, const CommGraph& clusterGraph,
@@ -117,64 +68,144 @@ RefineResult refineImpl(const Torus& topo, const CommGraph& clusterGraph,
 
   RefineResult result;
 
-  if (cfg.objective == MapObjective::HopBytes) {
-    // Hop-bytes is a plain sum: evaluate with the memoized evaluator.
-    MclEvaluator evaluator(topo);
-    double current = evaluator.hopBytesOf(clusterGraph, nodeOfCluster);
-    result.objectiveBefore = current;
+  const bool hopBytes = cfg.objective == MapObjective::HopBytes;
+  DeltaEvalConfig ecfg;
+  ecfg.trackLoads = !hopBytes;
+  ecfg.trackHopBytes = hopBytes;
+  DeltaPlacementEval eval(topo, clusterGraph, nodeOfCluster, ecfg);
+
+  double curMax = eval.mcl();
+  double curSq = eval.sumSquares();
+  double curHb = eval.hopBytes();
+  result.objectiveBefore = hopBytes ? curHb : curMax;
+
+  // Acceptance mirrors the original sweeps: hop-bytes is a strict decrease;
+  // MCL is lexicographic (max, sum of squares) — most swaps leave the
+  // maximum untouched, and draining load variance keeps the search
+  // progressing across the MCL plateau.
+  const auto accepts = [&](const DeltaPlacementEval::Summary& cand) {
+    if (hopBytes) return cand.hopBytes < curHb - 1e-12;
+    return cand.mcl < curMax - 1e-9 ||
+           (cand.mcl < curMax + 1e-9 && cand.sumSquares < curSq * (1 - 1e-6));
+  };
+  const auto adopt = [&](const DeltaPlacementEval::Summary& cand) {
+    curMax = cand.mcl;
+    curSq = cand.sumSquares;
+    curHb = cand.hopBytes;
+    ++result.swapsApplied;
+  };
+
+  const bool pruned =
+      cfg.candidates == RefineCandidates::Pruned ||
+      (cfg.candidates == RefineCandidates::Auto &&
+       n >= static_cast<std::size_t>(cfg.autoPruneThreshold));
+
+  if (!pruned) {
     for (int pass = 0; pass < cfg.maxPasses; ++pass) {
       ++result.passes;
       bool improved = false;
       for (std::size_t a = 0; a < n; ++a) {
         for (std::size_t b = a + 1; b < n; ++b) {
-          std::swap(nodeOfCluster[a], nodeOfCluster[b]);
-          const double cand = evaluator.hopBytesOf(clusterGraph, nodeOfCluster);
-          if (cand < current - 1e-12) {
-            current = cand;
+          const auto& cand =
+              eval.probeSwap(static_cast<RankId>(a), static_cast<RankId>(b));
+          if (accepts(cand)) {
+            eval.commit();
+            adopt(cand);
             improved = true;
-            ++result.swapsApplied;
-          } else {
-            std::swap(nodeOfCluster[a], nodeOfCluster[b]);
           }
         }
       }
       if (!improved) break;
+      // Resynchronize incremental drift between passes (cheap relative to
+      // the pass itself) so accept thresholds always compare fresh values.
+      eval.rebuild();
+      curMax = eval.mcl();
+      curSq = eval.sumSquares();
+      curHb = eval.hopBytes();
     }
-    result.objectiveAfter = current;
-    return result;
+  } else {
+    // Neighbor-biased candidates with don't-look bits. A vertex is active
+    // until a full scan of its candidates yields no accepted swap; an
+    // accepted swap reactivates both endpoints and their communication
+    // partners. Serial and index-ordered, hence deterministic.
+    const NodeAdjacency nodeAdj = NodeAdjacency::build(topo);
+    const auto vertexNbrs = buildVertexNeighbors(clusterGraph);
+    std::vector<RankId> vertexAt(static_cast<std::size_t>(topo.numNodes()),
+                                 kInvalidRank);
+    for (std::size_t v = 0; v < n; ++v) {
+      const NodeId node = eval.placement()[v];
+      RAHTM_REQUIRE(vertexAt[static_cast<std::size_t>(node)] == kInvalidRank,
+                    "refinePlacement: pruned mode requires distinct nodes");
+      vertexAt[static_cast<std::size_t>(node)] = static_cast<RankId>(v);
+    }
+    std::vector<char> dontLook(n, 0);
+    std::vector<RankId> cands;
+    const auto addVertexOn = [&](NodeId node, RankId self) {
+      const RankId r = vertexAt[static_cast<std::size_t>(node)];
+      if (r != kInvalidRank && r != self) cands.push_back(r);
+    };
+    for (int pass = 0; pass < cfg.maxPasses; ++pass) {
+      ++result.passes;
+      bool improved = false;
+      for (std::size_t a = 0; a < n; ++a) {
+        if (dontLook[a]) continue;
+        const auto ra = static_cast<RankId>(a);
+        cands.clear();
+        for (const RankId g : vertexNbrs[a]) {
+          // The partner itself, and whoever sits next to it.
+          cands.push_back(g);
+          const auto gNode =
+              static_cast<std::size_t>(eval.placement()[static_cast<std::size_t>(g)]);
+          for (auto it = nodeAdj.begin(gNode); it != nodeAdj.end(gNode); ++it) {
+            addVertexOn(*it, ra);
+          }
+        }
+        // Whoever sits next to a (local shuffles that free a's node).
+        const auto aNode = static_cast<std::size_t>(eval.placement()[a]);
+        for (auto it = nodeAdj.begin(aNode); it != nodeAdj.end(aNode); ++it) {
+          addVertexOn(*it, ra);
+        }
+        std::sort(cands.begin(), cands.end());
+        cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+        bool found = false;
+        for (const RankId b : cands) {
+          const auto& cand = eval.probeSwap(ra, b);
+          if (!accepts(cand)) continue;
+          const NodeId na = eval.placement()[a];
+          const NodeId nb = eval.placement()[static_cast<std::size_t>(b)];
+          eval.commit();
+          adopt(cand);
+          vertexAt[static_cast<std::size_t>(na)] = b;
+          vertexAt[static_cast<std::size_t>(nb)] = ra;
+          dontLook[static_cast<std::size_t>(b)] = 0;
+          for (const RankId g : vertexNbrs[a]) {
+            dontLook[static_cast<std::size_t>(g)] = 0;
+          }
+          for (const RankId g : vertexNbrs[static_cast<std::size_t>(b)]) {
+            dontLook[static_cast<std::size_t>(g)] = 0;
+          }
+          found = true;
+          improved = true;
+          break;  // a stays active; rescan its candidates next pass
+        }
+        if (!found) dontLook[a] = 1;
+      }
+      if (!improved) break;
+      eval.rebuild();
+      curMax = eval.mcl();
+      curSq = eval.sumSquares();
+      curHb = eval.hopBytes();
+    }
   }
 
-  // MCL objective with the lexicographic (max, sum-of-squares) criterion:
-  // most swaps do not move the maximum, but draining load variance keeps
-  // the search progressing across the MCL plateau.
-  SwapState state(topo, clusterGraph, nodeOfCluster);
-  result.objectiveBefore = state.mcl();
-  double curMax = state.mcl();
-  double curSq = state.sumSquares();
-  for (int pass = 0; pass < cfg.maxPasses; ++pass) {
-    ++result.passes;
-    bool improved = false;
-    for (std::size_t a = 0; a < n; ++a) {
-      for (std::size_t b = a + 1; b < n; ++b) {
-        state.swap(static_cast<RankId>(a), static_cast<RankId>(b));
-        const double candMax = state.mcl();
-        const double candSq = state.sumSquares();
-        const bool accept =
-            candMax < curMax - 1e-9 ||
-            (candMax < curMax + 1e-9 && candSq < curSq * (1 - 1e-6));
-        if (accept) {
-          curMax = candMax;
-          curSq = candSq;
-          improved = true;
-          ++result.swapsApplied;
-        } else {
-          state.swap(static_cast<RankId>(a), static_cast<RankId>(b));  // undo
-        }
-      }
-    }
-    if (!improved) break;
-  }
-  result.objectiveAfter = curMax;
+  // Final dense resync: report the exact objective of the final placement
+  // (bit-identical to a from-scratch placementLoads()/hopBytes()).
+  eval.rebuild();
+  result.objectiveAfter = hopBytes ? eval.hopBytes() : eval.mcl();
+  result.probes = eval.probes();
+  result.denseSweeps = eval.denseSweeps();
+  std::copy(eval.placement().begin(), eval.placement().begin() +
+            static_cast<std::ptrdiff_t>(n), nodeOfCluster.begin());
   return result;
 }
 
@@ -188,11 +219,16 @@ RefineResult refinePlacement(const Torus& topo, const CommGraph& clusterGraph,
   const RefineResult result = refineImpl(topo, clusterGraph, nodeOfCluster, cfg);
   span.attr("passes", static_cast<std::int64_t>(result.passes));
   span.attr("swaps", static_cast<std::int64_t>(result.swapsApplied));
+  span.attr("probes", static_cast<std::int64_t>(result.probes));
   span.attr("objective_before", result.objectiveBefore);
   span.attr("objective_after", result.objectiveAfter);
   if (obs::MetricsRegistry* reg = obs::metrics()) {
     reg->counter("rahtm.refine.passes").add(result.passes);
     reg->counter("rahtm.refine.swaps").add(result.swapsApplied);
+    reg->counter("rahtm.refine.probes")
+        .add(static_cast<std::int64_t>(result.probes));
+    reg->counter("rahtm.refine.dense_sweeps")
+        .add(static_cast<std::int64_t>(result.denseSweeps));
   }
   return result;
 }

@@ -13,6 +13,7 @@
 #include "graph/stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "routing/delta_eval.hpp"
 #include "routing/evaluator.hpp"
 #include "routing/oblivious.hpp"
 
@@ -58,70 +59,6 @@ SubproblemSolution exhaustiveSearch(const CommGraph& g, const Torus& cube,
   return best;
 }
 
-namespace {
-
-/// Incremental-evaluation annealing state: full channel-load map plus the
-/// objective, with swap moves re-accumulating only the flows that touch the
-/// two swapped vertices.
-class AnnealState {
- public:
-  AnnealState(const CommGraph& g, MclEvaluator& evaluator,
-              std::vector<NodeId> placement, MapObjective obj)
-      : g_(g),
-        evaluator_(&evaluator),
-        placement_(std::move(placement)),
-        obj_(obj) {
-    objective_ = eval();
-  }
-
-  double objective() const { return objective_; }
-  const std::vector<NodeId>& placement() const { return placement_; }
-
-  /// Objective after swapping the nodes of vertices a and b.
-  double trySwap(RankId a, RankId b) {
-    std::swap(placement_[static_cast<std::size_t>(a)],
-              placement_[static_cast<std::size_t>(b)]);
-    const double val = eval();
-    std::swap(placement_[static_cast<std::size_t>(a)],
-              placement_[static_cast<std::size_t>(b)]);
-    return val;
-  }
-
-  void commitSwap(RankId a, RankId b, double newObjective) {
-    std::swap(placement_[static_cast<std::size_t>(a)],
-              placement_[static_cast<std::size_t>(b)]);
-    objective_ = newObjective;
-  }
-
-  /// Objective after relocating vertex a onto (currently empty) \p node.
-  double tryRelocate(RankId a, NodeId node) {
-    const NodeId old = placement_[static_cast<std::size_t>(a)];
-    placement_[static_cast<std::size_t>(a)] = node;
-    const double val = eval();
-    placement_[static_cast<std::size_t>(a)] = old;
-    return val;
-  }
-
-  void commitRelocate(RankId a, NodeId node, double newObjective) {
-    placement_[static_cast<std::size_t>(a)] = node;
-    objective_ = newObjective;
-  }
-
- private:
-  double eval() {
-    return obj_ == MapObjective::Mcl ? evaluator_->mcl(g_, placement_)
-                                     : evaluator_->hopBytesOf(g_, placement_);
-  }
-
-  const CommGraph& g_;
-  MclEvaluator* evaluator_;
-  std::vector<NodeId> placement_;
-  MapObjective obj_;
-  double objective_ = 0;
-};
-
-}  // namespace
-
 SubproblemSolution annealSearch(const CommGraph& g, const Torus& cube,
                                 const SubproblemConfig& cfg,
                                 exec::ThreadPool* pool) {
@@ -137,17 +74,28 @@ SubproblemSolution annealSearch(const CommGraph& g, const Torus& cube,
   std::vector<std::uint64_t> seeds(static_cast<std::size_t>(restarts));
   for (auto& s : seeds) s = master.next();
 
+  // Subproblem cubes are small enough to enumerate every (src,dst) route up
+  // front; the complete table is immutable and shared read-only by all
+  // restarts (and pool workers). Hop-bytes needs no routes at all.
+  DeltaEvalConfig ecfg;
+  ecfg.trackLoads = cfg.objective == MapObjective::Mcl;
+  ecfg.trackHopBytes = cfg.objective == MapObjective::HopBytes;
+  std::shared_ptr<const RouteTable> routes;
+  if (ecfg.trackLoads && RouteTable::fullBuildFeasible(cube)) {
+    routes = RouteTable::buildFull(cube);
+  }
+
   struct RestartResult {
     double objective = std::numeric_limits<double>::infinity();
     std::vector<NodeId> placement;
     long iterations = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t commits = 0;
   };
   std::vector<RestartResult> results(static_cast<std::size_t>(restarts));
 
   const auto runRestart = [&](std::size_t restart) {
     Rng rng(seeds[restart]);
-    // Thread-local evaluator: its memo cache and scratch are mutable.
-    MclEvaluator evaluator(cube);
     // Random initial placement over all cube nodes; the tail of the
     // permutation is the (possibly empty) set of unoccupied nodes.
     std::vector<NodeId> nodesPerm(nodes);
@@ -157,10 +105,13 @@ SubproblemSolution annealSearch(const CommGraph& g, const Torus& cube,
                                   nodesPerm.begin() + static_cast<long>(verts));
     std::vector<NodeId> empty(nodesPerm.begin() + static_cast<long>(verts),
                               nodesPerm.end());
-    AnnealState state(g, evaluator, std::move(placement), cfg.objective);
+    DeltaPlacementEval state(cube, g, std::move(placement), ecfg, routes);
+    const auto curObj = [&] {
+      return ecfg.trackLoads ? state.mcl() : state.hopBytes();
+    };
 
     RestartResult& out = results[restart];
-    out.objective = state.objective();
+    out.objective = curObj();
     out.placement = state.placement();
 
     // Move targets: another occupied slot (swap) or an empty node
@@ -169,7 +120,7 @@ SubproblemSolution annealSearch(const CommGraph& g, const Torus& cube,
     if (slots < 2) return;
 
     // Geometric cooling sized to the initial objective scale.
-    double temp = std::max(1e-9, state.objective() * 0.25);
+    double temp = std::max(1e-9, curObj() * 0.25);
     const double cooling = std::pow(
         1e-4, 1.0 / static_cast<double>(std::max<long>(1, cfg.annealIters)));
     for (long it = 0; it < cfg.annealIters; ++it) {
@@ -183,25 +134,38 @@ SubproblemSolution annealSearch(const CommGraph& g, const Torus& cube,
       }
       ++out.iterations;
       const bool relocate = t >= verts;
-      const double cand =
-          relocate ? state.tryRelocate(a, empty[t - verts])
-                   : state.trySwap(a, static_cast<RankId>(t));
-      const double delta = cand - state.objective();
-      if (delta <= 0 || rng.nextDouble() < std::exp(-delta / temp)) {
+      const DeltaPlacementEval::Summary& s =
+          relocate ? state.probeMove(a, empty[t - verts])
+                   : state.probeSwap(a, static_cast<RankId>(t));
+      const double cand = ecfg.trackLoads ? s.mcl : s.hopBytes;
+      const double delta = cand - curObj();
+      // Objective-neutral moves evaluate to exactly 0 under a from-scratch
+      // evaluator but to +-ulps under incremental tracking; real uphill
+      // steps are whole route-fraction quanta. Treat the residue band as
+      // "not uphill" so a neutral move is accepted without consuming an RNG
+      // draw — otherwise the acceptance stream would be resampled on noise.
+      const double tie = 1e-9 * std::max(1.0, curObj());
+      if (delta <= tie || rng.nextDouble() < std::exp(-delta / temp)) {
         if (relocate) {
           const NodeId vacated = state.placement()[static_cast<std::size_t>(a)];
-          state.commitRelocate(a, empty[t - verts], cand);
+          state.commit();
           empty[t - verts] = vacated;
         } else {
-          state.commitSwap(a, static_cast<RankId>(t), cand);
+          state.commit();
         }
-        if (state.objective() < out.objective) {
-          out.objective = state.objective();
+        if (curObj() < out.objective) {
+          out.objective = curObj();
           out.placement = state.placement();
         }
       }
       temp *= cooling;
     }
+    out.probes = state.probes();
+    out.commits = state.commits();
+    // Report the best placement under a from-scratch evaluation: the
+    // incrementally tracked objective can drift from the exact value by a
+    // few ulps over a long move sequence.
+    out.objective = evalPlacement(g, cube, out.placement, cfg.objective);
   };
 
   if (pool != nullptr) {
@@ -218,6 +182,8 @@ SubproblemSolution annealSearch(const CommGraph& g, const Torus& cube,
   best.objective = std::numeric_limits<double>::infinity();
   for (const RestartResult& r : results) {
     best.iterations += r.iterations;
+    best.probes += r.probes;
+    best.commits += r.commits;
     if (r.objective < best.objective) {
       best.objective = r.objective;
       best.vertexOf = r.placement;
@@ -286,6 +252,12 @@ SubproblemSolution solveSubproblem(const CommGraph& g, const Torus& cube,
   if (obs::MetricsRegistry* reg = obs::metrics()) {
     reg->counter("rahtm.subproblems").add(1);
     reg->counter("rahtm.subproblem.method." + s.method).add(1);
+    if (s.probes != 0) {
+      reg->counter("rahtm.anneal.probes")
+          .add(static_cast<std::int64_t>(s.probes));
+      reg->counter("rahtm.anneal.commits")
+          .add(static_cast<std::int64_t>(s.commits));
+    }
   }
   return s;
 }

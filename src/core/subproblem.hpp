@@ -50,6 +50,10 @@ struct SubproblemSolution {
   /// Method-specific work count (telemetry): B&B nodes for "milp",
   /// placements evaluated for "exhaustive", proposed moves for "anneal".
   long iterations = 0;
+  /// Delta-engine telemetry ("anneal" only): candidate moves evaluated and
+  /// moves committed across all restarts.
+  std::uint64_t probes = 0;
+  std::uint64_t commits = 0;
 };
 
 /// Objective value of a placement under the oblivious uniform-minimal model

@@ -102,6 +102,17 @@ bool operator==(const CommGraph& a, const CommGraph& b) {
   return true;
 }
 
+FlowIncidence buildFlowIncidence(const CommGraph& g) {
+  const auto& flows = g.flows();
+  return FlowIncidence::build(
+      flows.size(), static_cast<std::size_t>(g.numRanks()),
+      [&flows](std::size_t i) {
+        return std::pair<std::size_t, std::size_t>{
+            static_cast<std::size_t>(flows[i].src),
+            static_cast<std::size_t>(flows[i].dst)};
+      });
+}
+
 ContractionResult contract(const CommGraph& g,
                            const std::vector<ClusterId>& clusterOf,
                            ClusterId numClusters) {

@@ -76,6 +76,67 @@ class CommGraph {
   }
 };
 
+/// CSR incidence lists over a flow array: for each bucket (vertex, child
+/// block, ...), the indices of the flows with at least one endpoint in the
+/// bucket, in ascending flow order. A flow whose endpoints map to the same
+/// bucket is listed once. This is the shared building block of every
+/// incremental evaluator (delta_eval, the merge beam): "which flows must be
+/// re-routed when this bucket moves?" answered in O(degree).
+class FlowIncidence {
+ public:
+  FlowIncidence() = default;
+
+  std::size_t numBuckets() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Flow indices touching \p bucket (ascending).
+  struct Span {
+    const std::uint32_t* data = nullptr;
+    std::size_t size = 0;
+    const std::uint32_t* begin() const { return data; }
+    const std::uint32_t* end() const { return data + size; }
+  };
+  Span of(std::size_t bucket) const {
+    const std::size_t lo = offsets_[bucket];
+    return {flowIds_.data() + lo, offsets_[bucket + 1] - lo};
+  }
+
+  /// Build incidence of \p numFlows flows over \p buckets buckets.
+  /// \p endpoints(i) returns the (bucketA, bucketB) pair of flow i.
+  template <typename EndpointsFn>
+  static FlowIncidence build(std::size_t numFlows, std::size_t buckets,
+                             EndpointsFn&& endpoints) {
+    FlowIncidence inc;
+    inc.offsets_.assign(buckets + 1, 0);
+    for (std::size_t i = 0; i < numFlows; ++i) {
+      const auto [a, b] = endpoints(i);
+      ++inc.offsets_[a + 1];
+      if (b != a) ++inc.offsets_[b + 1];
+    }
+    for (std::size_t k = 1; k <= buckets; ++k) {
+      inc.offsets_[k] += inc.offsets_[k - 1];
+    }
+    inc.flowIds_.resize(inc.offsets_[buckets]);
+    std::vector<std::size_t> cursor(inc.offsets_.begin(),
+                                    inc.offsets_.end() - 1);
+    for (std::size_t i = 0; i < numFlows; ++i) {
+      const auto [a, b] = endpoints(i);
+      inc.flowIds_[cursor[a]++] = static_cast<std::uint32_t>(i);
+      if (b != a) inc.flowIds_[cursor[b]++] = static_cast<std::uint32_t>(i);
+    }
+    return inc;
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;     ///< size numBuckets + 1
+  std::vector<std::uint32_t> flowIds_;
+};
+
+/// Incidence of \p g's flows over its vertices: of(v) = indices into
+/// g.flows() of the flows with src == v or dst == v.
+FlowIncidence buildFlowIncidence(const CommGraph& g);
+
 /// Result of contracting a graph by a cluster assignment.
 struct ContractionResult {
   CommGraph clusterGraph;     ///< flows between distinct clusters

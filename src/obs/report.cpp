@@ -230,13 +230,29 @@ RunReport readReportFile(const std::string& path) {
 }
 
 ThresholdMap defaultThresholds() {
+  const double inf = std::numeric_limits<double>::infinity();
   return {
       {"mcl", 0.02},
       {"hop_bytes", 0.02},
       {"comm_cycles", 0.05},
       {"overall_cycles", 0.05},
-      // Wall time is hardware-dependent noise: reported, never gated.
-      {"map_seconds", std::numeric_limits<double>::infinity()},
+      // Wall time and derived throughput are hardware-dependent noise:
+      // reported, never gated.
+      {"map_seconds", inf},
+      {"refine_seconds", inf},
+      {"anneal_seconds", inf},
+      {"swaps_per_sec", inf},
+      {"probes_per_sec", inf},
+      {"moves_per_sec", inf},
+      // Search-effort counters (probe/commit/sweep counts) shift with any
+      // legitimate algorithm tweak: reported, never gated.
+      {"objective_before", inf},
+      {"swaps", inf},
+      {"passes", inf},
+      {"probes", inf},
+      {"commits", inf},
+      {"dense_sweeps", inf},
+      {"iterations", inf},
   };
 }
 

@@ -1,0 +1,212 @@
+#pragma once
+/// \file delta_eval.hpp
+/// Incremental (delta-evaluated) placement evaluation for the local-search
+/// phases.
+///
+/// The refine and anneal hot loops evaluate millions of candidate moves that
+/// each touch only two vertices. Re-deriving the full channel-load vector —
+/// or even re-scanning it for the maximum — per candidate makes every trial
+/// O(#channels); this engine makes both the *probe* (evaluate a candidate)
+/// and the *commit* (adopt it) O(degree of the moved vertices):
+///
+///  * `RouteTable` — a flat structure-of-arrays route cache: for each
+///    (src,dst) node pair the uniform-minimal path decomposition as a
+///    contiguous (channel[], fraction[]) slice, keyed by the flattened pair
+///    index. Built once per topology; an eagerly built table is immutable
+///    and safe to share read-only across annealing restarts and
+///    exec::ThreadPool workers. Replaces the per-restart
+///    `std::unordered_map` + `std::function` sinks of the former
+///    SwapState/MclEvaluator caches.
+///
+///  * `DeltaPlacementEval` — probe-then-commit evaluation of swap and
+///    relocation moves. Channel loads live in a dense vector, but their
+///    maximum is maintained by a lazy max-heap so a *rejected* probe never
+///    sweeps the dense vector at all; the sum of squared loads (the MCL
+///    plateau tie-breaker) and hop-bytes are maintained as running values
+///    with O(touched)/O(degree) deltas.
+///
+/// Lazy-max invariant: for every channel c with loads_[c] != 0 the heap
+/// holds at least one entry (loads_[c], c); entries whose value no longer
+/// matches loads_[c] are stale and discarded when they surface. A dense
+/// sweep is only needed when (a) the engine is (re)built from scratch or
+/// (b) the heap has accumulated more than ~4x numChannelSlots entries and
+/// is compacted (which also resynchronizes the running sum of squares).
+///
+/// Determinism: all updates are value-deterministic functions of the move
+/// sequence, so searches driven by pre-split RNG streams stay bit-identical
+/// for any thread count. Incrementally maintained stats can drift from a
+/// from-scratch evaluation by a few ulps (floating-point addition is not
+/// associative); `rebuild()` resynchronizes exactly, and probe/commit are
+/// bit-identical to each other by construction.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/comm_graph.hpp"
+#include "topology/torus.hpp"
+
+namespace rahtm {
+
+/// Flat per-(src,dst) route cache over a fixed topology. Entries are the
+/// unit-volume uniform-minimal channel fractions in the router's canonical
+/// enumeration order (so accumulating `frac * bytes` reproduces
+/// placementLoads() bit for bit).
+class RouteTable {
+ public:
+  explicit RouteTable(const Torus& topo);
+
+  const Torus& topology() const { return *topo_; }
+
+  /// Parallel views into the channel / fraction arrays of one route.
+  struct Span {
+    const ChannelId* channels = nullptr;
+    const double* fracs = nullptr;
+    std::size_t size = 0;
+  };
+
+  /// Route of (src,dst), building it on first use. NOT thread-safe unless
+  /// the table is complete().
+  Span get(NodeId src, NodeId dst);
+
+  /// Read-only lookup on a complete table (thread-safe).
+  Span find(NodeId src, NodeId dst) const;
+
+  /// Eagerly build every (src,dst) route; afterwards the table is
+  /// immutable and find()/get() are safe to call concurrently.
+  void buildAll();
+  bool complete() const { return complete_; }
+
+  /// Whether an eager buildAll() is cheap enough to be worthwhile
+  /// (subproblem cubes: yes; full machines: build lazily per owner).
+  static bool fullBuildFeasible(const Torus& topo);
+
+  /// Convenience: an eagerly built table ready for read-only sharing.
+  static std::shared_ptr<const RouteTable> buildFull(const Torus& topo);
+
+  std::size_t entryCount() const { return channels_.size(); }
+
+ private:
+  struct Slice {
+    std::int64_t start = -1;  ///< -1: not built yet
+    std::int64_t len = 0;
+  };
+  Slice& sliceOf(NodeId src, NodeId dst);
+  const Slice* findSlice(NodeId src, NodeId dst) const;
+
+  const Torus* topo_;
+  bool complete_ = false;
+  /// Dense pair index (src * numNodes + dst) when the topology is small
+  /// enough; hash-map fallback above kDenseIndexNodeCap nodes.
+  bool denseIndex_ = true;
+  std::vector<Slice> dense_;
+  std::unordered_map<std::uint64_t, Slice> sparse_;
+  // Arena (structure of arrays): all routes back to back.
+  std::vector<ChannelId> channels_;
+  std::vector<double> fracs_;
+};
+
+struct DeltaEvalConfig {
+  bool trackLoads = true;      ///< maintain channel loads, MCL, sum-squares
+  bool trackHopBytes = false;  ///< maintain the hop-bytes total
+};
+
+/// Probe-then-commit incremental evaluation of one placement.
+///
+/// The engine owns a placement of `graph`'s vertices onto nodes of `topo`
+/// (several vertices may share a node; co-located flows add no load) and
+/// maintains, as configured, the dense channel loads with their maximum
+/// (MCL) and sum of squares, and/or the hop-bytes total. `probeSwap` /
+/// `probeMove` return the statistics the placement WOULD have after the
+/// move without observably changing any state; `commit()` adopts the most
+/// recent probe in O(touched channels). A probe that is not committed costs
+/// nothing further — the next probe simply overwrites the pending delta.
+class DeltaPlacementEval {
+ public:
+  using Config = DeltaEvalConfig;
+
+  struct Summary {
+    double mcl = 0;
+    double sumSquares = 0;
+    double hopBytes = 0;
+  };
+
+  /// \p routes: optional complete table shared read-only (e.g. across
+  /// annealing restarts); the engine builds its own lazy table when null.
+  DeltaPlacementEval(const Torus& topo, const CommGraph& graph,
+                     std::vector<NodeId> placement, Config cfg = {},
+                     std::shared_ptr<const RouteTable> routes = nullptr);
+
+  const Torus& topology() const { return *topo_; }
+  const std::vector<NodeId>& placement() const { return placement_; }
+  const Summary& current() const { return cur_; }
+  double mcl() const { return cur_.mcl; }
+  double sumSquares() const { return cur_.sumSquares; }
+  double hopBytes() const { return cur_.hopBytes; }
+
+  /// Candidate statistics if vertices a and b exchanged nodes.
+  const Summary& probeSwap(RankId a, RankId b);
+  /// Candidate statistics if vertex a relocated to \p node (which must not
+  /// host any other vertex — the caller tracks empty nodes).
+  const Summary& probeMove(RankId a, NodeId node);
+  /// Adopt the most recent probe. Requires a pending probe.
+  void commit();
+
+  /// From-scratch reconstruction of loads and statistics (the dense
+  /// sweep). Resynchronizes any accumulated floating-point drift; the
+  /// resulting loads are bit-identical to placementLoads().
+  void rebuild();
+
+  /// Debug/test view of the dense channel loads (trackLoads only).
+  const std::vector<double>& loads() const { return loads_; }
+
+  // ---- Instrumentation ----------------------------------------------------
+  std::uint64_t probes() const { return probes_; }
+  std::uint64_t commits() const { return commits_; }
+  /// Full-vector sweeps performed (initial build + rebuilds + compactions).
+  std::uint64_t denseSweeps() const { return denseSweeps_; }
+
+ private:
+  RouteTable::Span route(NodeId src, NodeId dst);
+  void touchChannel(ChannelId c);
+  void probeFlows(RankId a, RankId b, NodeId nodeA, NodeId nodeB);
+  double maxExcludingTouched();
+  void heapPush(double value, ChannelId c);
+  void compactHeapIfNeeded();
+  void sweepStats();
+
+  const Torus* topo_;
+  const CommGraph* graph_;
+  Config cfg_;
+  std::vector<NodeId> placement_;
+  FlowIncidence incidence_;
+
+  std::shared_ptr<const RouteTable> sharedRoutes_;
+  std::unique_ptr<RouteTable> ownRoutes_;
+
+  // Dense loads + lazy-max machinery (trackLoads).
+  std::vector<double> loads_;
+  std::vector<double> peak_;  ///< per-channel peak |load| ever applied
+  std::vector<std::pair<double, ChannelId>> heap_;
+  std::vector<std::pair<double, ChannelId>> stash_;  ///< probe scratch
+
+  // Pending probe: touched channels with their candidate loads.
+  std::vector<ChannelId> touched_;
+  std::vector<double> delta_;           ///< dense per-channel probe delta
+  std::vector<std::uint32_t> mark_;     ///< epoch stamp per channel
+  std::uint32_t epoch_ = 0;
+  enum class Pending { None, Swap, Move };
+  Pending pending_ = Pending::None;
+  RankId pendA_ = kInvalidRank;
+  RankId pendB_ = kInvalidRank;  ///< swap partner
+  NodeId pendNode_ = kInvalidNode;  ///< move target
+  Summary pendingSummary_;
+
+  Summary cur_;
+  std::uint64_t probes_ = 0;
+  std::uint64_t commits_ = 0;
+  std::uint64_t denseSweeps_ = 0;
+};
+
+}  // namespace rahtm

@@ -8,23 +8,23 @@ namespace rahtm {
 
 MclEvaluator::MclEvaluator(const Torus& topo)
     : topo_(&topo),
+      ownRoutes_(std::make_unique<RouteTable>(topo)),
       scratch_(static_cast<std::size_t>(topo.numChannelSlots()), 0.0),
       mark_(static_cast<std::size_t>(topo.numChannelSlots()), 0) {}
 
-const std::vector<std::pair<ChannelId, double>>& MclEvaluator::pairEntries(
-    NodeId src, NodeId dst) {
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
-      static_cast<std::uint32_t>(dst);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    std::vector<std::pair<ChannelId, double>> entries;
-    forEachUniformMinimalLoad(
-        *topo_, topo_->coordOf(src), topo_->coordOf(dst), 1.0,
-        [&entries](ChannelId c, double frac) { entries.push_back({c, frac}); });
-    it = cache_.emplace(key, std::move(entries)).first;
-  }
-  return it->second;
+MclEvaluator::MclEvaluator(const Torus& topo,
+                           std::shared_ptr<const RouteTable> routes)
+    : topo_(&topo),
+      sharedRoutes_(std::move(routes)),
+      scratch_(static_cast<std::size_t>(topo.numChannelSlots()), 0.0),
+      mark_(static_cast<std::size_t>(topo.numChannelSlots()), 0) {
+  RAHTM_REQUIRE(sharedRoutes_ != nullptr && sharedRoutes_->complete(),
+                "MclEvaluator: shared route table must be complete");
+}
+
+RouteTable::Span MclEvaluator::routeOf(NodeId src, NodeId dst) {
+  return sharedRoutes_ != nullptr ? sharedRoutes_->find(src, dst)
+                                  : ownRoutes_->get(src, dst);
 }
 
 void MclEvaluator::accumulate(const CommGraph& graph,
@@ -46,14 +46,15 @@ void MclEvaluator::accumulate(const CommGraph& graph,
     // registering channels in touched_ (the former `cell == 0.0` test
     // pushed such channels once per flow that grazed them).
     if (f.bytes == 0) continue;
-    for (const auto& [channel, frac] : pairEntries(u, v)) {
-      const auto idx = static_cast<std::size_t>(channel);
+    const RouteTable::Span r = routeOf(u, v);
+    for (std::size_t i = 0; i < r.size; ++i) {
+      const auto idx = static_cast<std::size_t>(r.channels[i]);
       if (mark_[idx] != epoch_) {
         mark_[idx] = epoch_;
         scratch_[idx] = 0;
-        touched_.push_back(channel);
+        touched_.push_back(r.channels[i]);
       }
-      scratch_[idx] += frac * f.bytes;
+      scratch_[idx] += r.fracs[i] * f.bytes;
     }
   }
 }

@@ -2,26 +2,27 @@
 /// \file evaluator.hpp
 /// Fast repeated MCL evaluation of placements on a fixed topology.
 ///
-/// The search-based mappers (exhaustive permutation search, simulated
-/// annealing, the merge beam) evaluate millions of placements of the same
-/// communication graph. This evaluator memoizes, per (src,dst) node pair,
-/// the uniform-minimal path decomposition as a flat (channel, fraction)
-/// list, turning each evaluation into a short accumulate-and-max scan.
+/// The search-based mappers (exhaustive permutation search, the merge beam)
+/// evaluate many placements of the same communication graph. This evaluator
+/// memoizes routes in a RouteTable — per (src,dst) node pair, the
+/// uniform-minimal path decomposition as a contiguous (channel[], fraction[])
+/// slice — turning each evaluation into a short accumulate-and-max scan.
+/// (The refine/anneal hot loops go further and use
+/// routing/delta_eval.hpp, which shares the same RouteTable.)
 ///
 /// Thread safety: NONE. Every method except hopBytesOf() mutates internal
-/// state (the memo cache, the scratch load vector, the touched-channel
-/// epoch marks), so an instance must be owned by a single thread at a
-/// time. Parallel searches (e.g. annealing restarts on the exec pool)
-/// construct one evaluator per task — construction is cheap; the memo
-/// cache warms up within a few evaluations.
+/// state (the route table when owned, the scratch load vector, the
+/// touched-channel epoch marks), so an instance must be owned by a single
+/// thread at a time. Parallel searches construct one evaluator per task —
+/// construction is cheap, and a complete shared RouteTable can be passed in
+/// so workers skip even the route-building warm-up.
 
 #include <cstdint>
-#include <unordered_map>
-#include <utility>
+#include <memory>
 #include <vector>
 
 #include "graph/comm_graph.hpp"
-#include "routing/oblivious.hpp"
+#include "routing/delta_eval.hpp"
 #include "topology/torus.hpp"
 
 namespace rahtm {
@@ -29,6 +30,10 @@ namespace rahtm {
 class MclEvaluator {
  public:
   explicit MclEvaluator(const Torus& topo);
+
+  /// Evaluator over a complete shared route table (e.g. one built once and
+  /// handed to every exec::ThreadPool worker). No routes are built lazily.
+  MclEvaluator(const Torus& topo, std::shared_ptr<const RouteTable> routes);
 
   const Torus& topology() const { return *topo_; }
 
@@ -52,8 +57,7 @@ class MclEvaluator {
                     const std::vector<NodeId>& nodeOfVertex) const;
 
  private:
-  const std::vector<std::pair<ChannelId, double>>& pairEntries(NodeId src,
-                                                               NodeId dst);
+  RouteTable::Span routeOf(NodeId src, NodeId dst);
 
   /// Accumulate the channel loads of \p graph under \p nodeOfVertex into
   /// scratch_, recording each loaded channel in touched_ exactly once.
@@ -61,9 +65,8 @@ class MclEvaluator {
                   const std::vector<NodeId>& nodeOfVertex);
 
   const Torus* topo_;
-  std::unordered_map<std::uint64_t,
-                     std::vector<std::pair<ChannelId, double>>>
-      cache_;
+  std::shared_ptr<const RouteTable> sharedRoutes_;  // complete, read-only
+  std::unique_ptr<RouteTable> ownRoutes_;           // lazily populated
   std::vector<double> scratch_;           // dense channel loads
   std::vector<ChannelId> touched_;        // channels written this eval
   /// Per-channel "was touched this evaluation" stamp. An epoch counter

@@ -1,0 +1,345 @@
+/// Property tests for the incremental placement-evaluation engine
+/// (routing/delta_eval.hpp): probe/commit consistency against from-scratch
+/// evaluation across randomized move sequences, the relative residue scrub,
+/// the shared route table, and thread-count determinism of the searches
+/// built on the engine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/refine.hpp"
+#include "core/subproblem.hpp"
+#include "exec/thread_pool.hpp"
+#include "graph/comm_graph.hpp"
+#include "graph/stats.hpp"
+#include "routing/delta_eval.hpp"
+#include "routing/evaluator.hpp"
+#include "routing/oblivious.hpp"
+#include "topology/torus.hpp"
+
+namespace rahtm {
+namespace {
+
+CommGraph randomGraph(RankId verts, std::size_t flows, Rng& rng) {
+  CommGraph g(verts);
+  for (std::size_t i = 0; i < flows; ++i) {
+    const auto a = static_cast<RankId>(rng.nextBounded(
+        static_cast<std::uint64_t>(verts)));
+    const auto b = static_cast<RankId>(rng.nextBounded(
+        static_cast<std::uint64_t>(verts)));
+    g.addFlow(a, b, static_cast<double>(rng.nextBounded(1000) + 1) * 8.0);
+  }
+  return g;
+}
+
+std::vector<NodeId> randomPlacement(std::size_t verts, std::int64_t nodes,
+                                    Rng& rng) {
+  std::vector<NodeId> perm(static_cast<std::size_t>(nodes));
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    perm[i] = static_cast<NodeId>(i);
+  }
+  rng.shuffle(perm);
+  perm.resize(verts);
+  return perm;
+}
+
+TEST(RouteTable, EagerMatchesLazy) {
+  // Includes a 2-ary torus dimension (double-wide links).
+  const Torus t = Torus::torus({3, 2, 4});
+  RouteTable lazy(t);
+  const auto eager = RouteTable::buildFull(t);
+  ASSERT_TRUE(eager->complete());
+  const auto n = static_cast<NodeId>(t.numNodes());
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      const RouteTable::Span a = lazy.get(s, d);
+      const RouteTable::Span b = eager->find(s, d);
+      ASSERT_EQ(a.size, b.size);
+      for (std::size_t i = 0; i < a.size; ++i) {
+        EXPECT_EQ(a.channels[i], b.channels[i]);
+        EXPECT_EQ(a.fracs[i], b.fracs[i]);
+      }
+    }
+  }
+  EXPECT_EQ(lazy.entryCount(), eager->entryCount());
+}
+
+TEST(DeltaEval, InitialBuildMatchesPlacementLoadsBitExact) {
+  const Torus t = Torus::torus({4, 3, 2});
+  Rng rng(1);
+  const CommGraph g = randomGraph(static_cast<RankId>(t.numNodes()), 60, rng);
+  const auto place =
+      randomPlacement(static_cast<std::size_t>(g.numRanks()), t.numNodes(), rng);
+  DeltaPlacementEval eval(t, g, place);
+  const ChannelLoadMap ref = placementLoads(t, g, place);
+  ASSERT_EQ(eval.loads().size(), ref.raw().size());
+  for (std::size_t c = 0; c < ref.raw().size(); ++c) {
+    EXPECT_EQ(eval.loads()[c], ref.raw()[c]) << "channel " << c;
+  }
+  EXPECT_DOUBLE_EQ(eval.mcl(), placementMcl(t, g, place));
+}
+
+// The central property: across randomized committed swap sequences, the
+// incrementally maintained statistics track a from-scratch evaluation, a
+// probe's summary is adopted bit-for-bit by its commit, and rebuild()
+// resynchronizes to placementLoads() exactly.
+TEST(DeltaEval, ProbeCommitTracksScratchAcrossSwapSequences) {
+  const std::vector<Torus> topos = {
+      Torus::torus({4, 4, 2}),           // 3D with a double-wide dimension
+      Torus::torus({2, 2, 2, 3, 2}),     // 5D, several 2-ary dims
+      Torus::mesh({3, 3, 3}),
+  };
+  for (const Torus& t : topos) {
+    Rng rng(static_cast<std::uint64_t>(t.numNodes()));
+    const auto verts = static_cast<std::size_t>(t.numNodes());
+    const CommGraph g = randomGraph(static_cast<RankId>(verts), 4 * verts, rng);
+    auto place = randomPlacement(verts, t.numNodes(), rng);
+    DeltaPlacementEval eval(t, g, place);
+    for (int step = 0; step < 120; ++step) {
+      const auto a = static_cast<RankId>(rng.nextBounded(verts));
+      auto b = static_cast<RankId>(rng.nextBounded(verts));
+      while (b == a) b = static_cast<RankId>(rng.nextBounded(verts));
+      const DeltaPlacementEval::Summary probed = eval.probeSwap(a, b);
+      eval.commit();
+      // Commit adopts the probe verbatim. The max is bit-stable even across
+      // the deterministic heap compaction (its dense sweep recomputes the
+      // max over exactly the values the probe produced); the running sum of
+      // squares is *resynchronized* by that sweep, so it only tracks the
+      // probe within summation-order rounding.
+      EXPECT_EQ(eval.mcl(), probed.mcl);
+      EXPECT_NEAR(eval.sumSquares(), probed.sumSquares,
+                  1e-9 * std::max(1.0, probed.sumSquares));
+      std::swap(place[static_cast<std::size_t>(a)],
+                place[static_cast<std::size_t>(b)]);
+      ASSERT_EQ(eval.placement(), place);
+      const double ref = placementMcl(t, g, place);
+      EXPECT_NEAR(eval.mcl(), ref, 1e-9 * std::max(1.0, ref))
+          << t.describe() << " step " << step;
+    }
+    // A dense rebuild lands exactly on the from-scratch loads.
+    eval.rebuild();
+    const ChannelLoadMap ref = placementLoads(t, g, place);
+    for (std::size_t c = 0; c < ref.raw().size(); ++c) {
+      EXPECT_EQ(eval.loads()[c], ref.raw()[c]) << t.describe() << " ch " << c;
+    }
+    EXPECT_DOUBLE_EQ(eval.mcl(), placementMcl(t, g, place));
+  }
+}
+
+TEST(DeltaEval, RejectedProbesDoNotMutate) {
+  const Torus t = Torus::torus({3, 3, 2});
+  Rng rng(7);
+  const auto verts = static_cast<std::size_t>(t.numNodes());
+  const CommGraph g = randomGraph(static_cast<RankId>(verts), 50, rng);
+  const auto place = randomPlacement(verts, t.numNodes(), rng);
+  DeltaPlacementEval eval(t, g, place);
+  const std::vector<double> loadsBefore = eval.loads();
+  const double mclBefore = eval.mcl();
+  const double sqBefore = eval.sumSquares();
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<RankId>(rng.nextBounded(verts));
+    auto b = static_cast<RankId>(rng.nextBounded(verts));
+    while (b == a) b = static_cast<RankId>(rng.nextBounded(verts));
+    eval.probeSwap(a, b);  // never committed
+  }
+  EXPECT_EQ(eval.loads(), loadsBefore);
+  EXPECT_EQ(eval.mcl(), mclBefore);
+  EXPECT_EQ(eval.sumSquares(), sqBefore);
+  EXPECT_EQ(eval.placement(), place);
+  // A probe after many rejections is still consistent with from-scratch.
+  const DeltaPlacementEval::Summary s = eval.probeSwap(0, 1);
+  auto swapped = place;
+  std::swap(swapped[0], swapped[1]);
+  const double ref = placementMcl(t, g, swapped);
+  EXPECT_NEAR(s.mcl, ref, 1e-9 * std::max(1.0, ref));
+}
+
+TEST(DeltaEval, ProbeMoveOnPartiallyFilledCube) {
+  const Torus t = Torus::torus({2, 2, 2});
+  Rng rng(11);
+  const std::size_t verts = 5;  // 3 empty nodes
+  const CommGraph g = randomGraph(static_cast<RankId>(verts), 12, rng);
+  auto place = randomPlacement(verts, t.numNodes(), rng);
+  std::vector<char> occupied(static_cast<std::size_t>(t.numNodes()), 0);
+  for (const NodeId n : place) occupied[static_cast<std::size_t>(n)] = 1;
+  DeltaPlacementEval eval(t, g, place);
+  for (int step = 0; step < 80; ++step) {
+    const auto a = static_cast<RankId>(rng.nextBounded(verts));
+    NodeId target = static_cast<NodeId>(rng.nextBounded(
+        static_cast<std::uint64_t>(t.numNodes())));
+    while (occupied[static_cast<std::size_t>(target)]) {
+      target = static_cast<NodeId>(
+          rng.nextBounded(static_cast<std::uint64_t>(t.numNodes())));
+    }
+    const DeltaPlacementEval::Summary probed = eval.probeMove(a, target);
+    eval.commit();
+    occupied[static_cast<std::size_t>(place[static_cast<std::size_t>(a)])] = 0;
+    occupied[static_cast<std::size_t>(target)] = 1;
+    place[static_cast<std::size_t>(a)] = target;
+    ASSERT_EQ(eval.placement(), place);
+    EXPECT_EQ(eval.mcl(), probed.mcl);
+    const double ref = placementMcl(t, g, place);
+    EXPECT_NEAR(eval.mcl(), ref, 1e-9 * std::max(1.0, ref)) << "step " << step;
+  }
+}
+
+TEST(DeltaEval, HopBytesTracking) {
+  const Torus t = Torus::torus({4, 2, 2});
+  Rng rng(13);
+  const auto verts = static_cast<std::size_t>(t.numNodes());
+  const CommGraph g = randomGraph(static_cast<RankId>(verts), 40, rng);
+  auto place = randomPlacement(verts, t.numNodes(), rng);
+  DeltaEvalConfig cfg;
+  cfg.trackLoads = false;
+  cfg.trackHopBytes = true;
+  DeltaPlacementEval eval(t, g, place, cfg);
+  EXPECT_DOUBLE_EQ(eval.hopBytes(), hopBytes(g, t, place));
+  for (int step = 0; step < 100; ++step) {
+    const auto a = static_cast<RankId>(rng.nextBounded(verts));
+    auto b = static_cast<RankId>(rng.nextBounded(verts));
+    while (b == a) b = static_cast<RankId>(rng.nextBounded(verts));
+    const DeltaPlacementEval::Summary probed = eval.probeSwap(a, b);
+    eval.commit();
+    std::swap(place[static_cast<std::size_t>(a)],
+              place[static_cast<std::size_t>(b)]);
+    EXPECT_EQ(eval.hopBytes(), probed.hopBytes);
+    const double ref = hopBytes(g, t, place);
+    EXPECT_NEAR(eval.hopBytes(), ref, 1e-9 * std::max(1.0, ref));
+  }
+}
+
+// The residue scrub is relative to each channel's peak applied load: after
+// a heavy flow (volume 1e18, where one ulp is 128) moves away, the vacated
+// channels must read exactly 0 — an absolute threshold like the old -1e-7
+// misses residue that large — while an untouched light channel keeps its
+// legitimately tiny load.
+TEST(DeltaEval, ResidueScrubIsRelativeToPeakLoad) {
+  const Torus t = Torus::torus({4, 4});
+  CommGraph g(6);
+  g.addExchange(0, 1, 1e18);  // heavy pair
+  g.addExchange(2, 3, 1.0);   // light pair, adjacent
+  // The heavy endpoints and the idle vertices 4/5 orbit nodes {0,1,5,6}
+  // (coordinates with x in {0,1}); every minimal route between those nodes
+  // — including the dim-1 tie paths through y=3 — stays at x in {0,1}, so
+  // the light pair's channels at x=3 (nodes 14<->15) are never re-routed.
+  std::vector<NodeId> place = {0, 1, 14, 15, 5, 6};
+  DeltaPlacementEval eval(t, g, place);
+  Rng rng(17);
+  for (int step = 0; step < 60; ++step) {
+    // Shuffle the heavy endpoints around via swaps with the idle vertices
+    // 4 and 5, repeatedly vacating channels that carried ~1e18.
+    const RankId heavy = step % 2 == 0 ? 0 : 1;
+    const RankId idle = step % 4 < 2 ? 4 : 5;
+    eval.probeSwap(heavy, idle);
+    eval.commit();
+  }
+  eval.probeSwap(4, 5);
+  eval.commit();
+  const ChannelLoadMap ref = placementLoads(t, g, eval.placement());
+  for (std::size_t c = 0; c < ref.raw().size(); ++c) {
+    if (ref.raw()[c] == 0.0) {
+      EXPECT_EQ(eval.loads()[c], 0.0) << "residue on channel " << c;
+    } else {
+      EXPECT_NEAR(eval.loads()[c], ref.raw()[c],
+                  1e-9 * std::max(1.0, ref.raw()[c]));
+    }
+  }
+}
+
+TEST(DeltaEval, SharedRouteTableMatchesOwned) {
+  const Torus t = Torus::torus({3, 2, 2});
+  Rng rng(19);
+  const auto verts = static_cast<std::size_t>(t.numNodes());
+  const CommGraph g = randomGraph(static_cast<RankId>(verts), 30, rng);
+  const auto place = randomPlacement(verts, t.numNodes(), rng);
+  ASSERT_TRUE(RouteTable::fullBuildFeasible(t));
+  const auto shared = RouteTable::buildFull(t);
+  DeltaPlacementEval own(t, g, place);
+  DeltaPlacementEval sharedEval(t, g, place, {}, shared);
+  EXPECT_EQ(own.loads(), sharedEval.loads());
+  Rng moves(23);
+  for (int step = 0; step < 60; ++step) {
+    const auto a = static_cast<RankId>(moves.nextBounded(verts));
+    auto b = static_cast<RankId>(moves.nextBounded(verts));
+    while (b == a) b = static_cast<RankId>(moves.nextBounded(verts));
+    const auto sa = own.probeSwap(a, b);
+    const auto sb = sharedEval.probeSwap(a, b);
+    EXPECT_EQ(sa.mcl, sb.mcl);
+    EXPECT_EQ(sa.sumSquares, sb.sumSquares);
+    own.commit();
+    sharedEval.commit();
+  }
+  EXPECT_EQ(own.loads(), sharedEval.loads());
+}
+
+// Pruned (don't-look-bit) refinement still finds the canonical improving
+// swap of the hop-bytes line case and reports exact final objectives.
+TEST(DeltaEval, PrunedRefineFindsNeighborSwap) {
+  const Torus t = Torus::mesh({4});
+  CommGraph g(4);
+  g.addExchange(0, 3, 100.0);
+  std::vector<NodeId> place = {0, 1, 2, 3};
+  RefineConfig cfg;
+  cfg.objective = MapObjective::HopBytes;
+  cfg.candidates = RefineCandidates::Pruned;
+  const RefineResult r = refinePlacement(t, g, place, cfg);
+  EXPECT_GT(r.swapsApplied, 0);
+  EXPECT_EQ(t.distance(place[0], place[3]), 1);
+  EXPECT_DOUBLE_EQ(r.objectiveAfter, hopBytes(g, t, place));
+}
+
+TEST(DeltaEval, PrunedRefineMatchesAllPairsQuality) {
+  const Torus t = Torus::torus({4, 2, 2});
+  Rng rng(29);
+  const auto verts = static_cast<std::size_t>(t.numNodes());
+  const CommGraph g = randomGraph(static_cast<RankId>(verts), 48, rng);
+  const auto start = randomPlacement(verts, t.numNodes(), rng);
+
+  auto allPairs = start;
+  RefineConfig cfgAll;
+  cfgAll.candidates = RefineCandidates::AllPairs;
+  const RefineResult rAll = refinePlacement(t, g, allPairs, cfgAll);
+
+  auto prunedP = start;
+  RefineConfig cfgPruned;
+  cfgPruned.candidates = RefineCandidates::Pruned;
+  const RefineResult rPruned = refinePlacement(t, g, prunedP, cfgPruned);
+
+  // Both report exact objectives of their final placements...
+  EXPECT_DOUBLE_EQ(rAll.objectiveAfter, placementMcl(t, g, allPairs));
+  EXPECT_DOUBLE_EQ(rPruned.objectiveAfter, placementMcl(t, g, prunedP));
+  // ...both improve, and pruning scans far fewer candidates without giving
+  // up much quality.
+  EXPECT_LE(rAll.objectiveAfter, rAll.objectiveBefore);
+  EXPECT_LE(rPruned.objectiveAfter, rPruned.objectiveBefore);
+  EXPECT_LT(rPruned.objectiveAfter, rPruned.objectiveBefore);
+  EXPECT_LE(rPruned.objectiveAfter, rAll.objectiveAfter * 1.5);
+}
+
+// Satellite: determinism across thread counts. The annealing search built
+// on the engine must return bit-identical results for 1, 2 and 8 threads.
+TEST(DeltaEval, AnnealDeterministicAcrossThreadCounts) {
+  const Torus cube = Torus::torus({2, 2, 2, 2});
+  Rng rng(31);
+  const CommGraph g =
+      randomGraph(static_cast<RankId>(cube.numNodes()), 64, rng);
+  SubproblemConfig cfg;
+  cfg.annealRestarts = 8;
+  cfg.annealIters = 3000;
+  const SubproblemSolution serial = annealSearch(g, cube, cfg, nullptr);
+  for (const int threads : {1, 2, 8}) {
+    exec::ThreadPool pool(threads);
+    const SubproblemSolution parallel = annealSearch(g, cube, cfg, &pool);
+    EXPECT_EQ(serial.vertexOf, parallel.vertexOf) << threads << " threads";
+    EXPECT_EQ(serial.objective, parallel.objective) << threads << " threads";
+    EXPECT_EQ(serial.iterations, parallel.iterations);
+    EXPECT_EQ(serial.probes, parallel.probes);
+    EXPECT_EQ(serial.commits, parallel.commits);
+  }
+}
+
+}  // namespace
+}  // namespace rahtm

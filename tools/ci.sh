@@ -47,4 +47,13 @@ RAHTM_NODES=32 RAHTM_CONC=2 RAHTM_SIM_ITERS=1 \
 "$bench_bin" --validate "$bench_out/BENCH_smoke.json"
 "$bench_bin" --baseline "$repo/bench/baseline/BENCH_smoke.json" --check
 
-echo "==== CI passed (release + sanitize + tsan + bench-smoke)"
+# Refinement/annealing micro-ledger: quality metrics (mcl, hop_bytes) are
+# gated; the swaps/sec and probes/sec throughput columns are recorded for
+# trend-watching but never fail the build (infinite default thresholds).
+echo "==== [bench-refine-micro] ledger + regression gate"
+RAHTM_NODES=32 RAHTM_CONC=2 RAHTM_SIM_ITERS=1 \
+  "$bench_bin" --suites refine_micro --out "$bench_out"
+"$bench_bin" --validate "$bench_out/BENCH_refine_micro.json"
+"$bench_bin" --baseline "$repo/bench/baseline/BENCH_refine_micro.json" --check
+
+echo "==== CI passed (release + sanitize + tsan + bench-smoke + refine-micro)"

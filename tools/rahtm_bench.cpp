@@ -41,7 +41,8 @@ int usage(const char* argv0) {
       << "       [--trace-out FILE] [--trace-summary FILE] "
          "[--metrics-out FILE] [--verbose]\n"
       << "\n"
-      << "suites: table1, fig8, fig9, fig10, ablation_refine, smoke\n"
+      << "suites: table1, fig8, fig9, fig10, ablation_refine, refine_micro, "
+         "smoke\n"
       << "\n"
       << "Each suite writes BENCH_<suite>.json: a versioned ledger of the\n"
       << "suite's measured metrics (MCL, hop-bytes, simulated cycles,\n"
