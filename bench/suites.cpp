@@ -1,5 +1,8 @@
 #include "bench/suites.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
@@ -7,6 +10,8 @@
 #include "core/subproblem.hpp"
 #include "graph/stats.hpp"
 #include "mapping/permutation.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/heartbeat.hpp"
 #include "profile/profile.hpp"
 #include "routing/oblivious.hpp"
 
@@ -233,11 +238,66 @@ obs::RunReport suiteRefineMicro(const ExperimentScale& scale) {
   return report;
 }
 
+/// Gate for the always-on forensics layer: run the hottest instrumented
+/// path (annealing on a small cube — one heartbeat/recorder touch per 64
+/// iterations plus the per-restart ring events) with the flight recorder
+/// and heartbeats enabled and disabled, interleaved, and report the
+/// min-of-rounds timing ratio. `overhead_ratio` carries the <=2% budget in
+/// defaultThresholds(); the absolute seconds ride along ungated (they vary
+/// with the host, the ratio does not).
+obs::RunReport suiteObsOverhead(const ExperimentScale& scale) {
+  obs::RunReport report;
+  report.suite = "obs_overhead";
+
+  const Torus cube = Torus::torus({2, 2, 2, 2});
+  const Workload w = makeNasByName("CG", 16, scale.params);
+  const CommGraph g = w.commGraph();
+  SubproblemConfig cfg;
+
+  obs::FlightRecorder& fr = obs::FlightRecorder::instance();
+  obs::Heartbeats& hb = obs::Heartbeats::instance();
+  const bool frWas = fr.enabled();
+  const bool hbWas = hb.enabled();
+
+  const auto timedRun = [&](bool forensicsOn) {
+    fr.setEnabled(forensicsOn);
+    hb.setEnabled(forensicsOn);
+    Timer t;
+    const SubproblemSolution s = annealSearch(g, cube, cfg);
+    const double seconds = t.seconds();
+    RAHTM_REQUIRE(s.iterations > 0, "obs_overhead: empty anneal run");
+    return seconds;
+  };
+
+  // Warm-up (page in code + route tables), then interleave on/off rounds so
+  // frequency drift hits both sides equally; min-of-rounds rejects noise.
+  timedRun(true);
+  constexpr int kRounds = 5;
+  double onSec = std::numeric_limits<double>::infinity();
+  double offSec = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < kRounds; ++r) {
+    onSec = std::min(onSec, timedRun(true));
+    offSec = std::min(offSec, timedRun(false));
+  }
+  fr.setEnabled(frWas);
+  hb.setEnabled(hbWas);
+
+  obs::RunRecord record;
+  record.benchmark = "CG16";
+  record.mapper = "anneal";
+  record.add("overhead_ratio", offSec > 0 ? onSec / offSec : 1.0);
+  record.add("forensics_on_seconds", onSec);
+  record.add("forensics_off_seconds", offSec);
+  report.records.push_back(std::move(record));
+  report.env = fingerprint(scale);
+  return report;
+}
+
 }  // namespace
 
 std::vector<std::string> knownSuites() {
   return {"table1", "fig8",  "fig9",        "fig10",
-          "ablation_refine", "refine_micro", "smoke"};
+          "ablation_refine", "refine_micro", "obs_overhead", "smoke"};
 }
 
 obs::RunReport runSuite(const std::string& name,
@@ -252,11 +312,13 @@ obs::RunReport runSuite(const std::string& name,
   }
   if (name == "ablation_refine") return suiteAblationRefine(scale);
   if (name == "refine_micro") return suiteRefineMicro(scale);
+  if (name == "obs_overhead") return suiteObsOverhead(scale);
   if (name == "smoke") {
     return suiteStudy("smoke", {"CG"}, scale, /*overall=*/false);
   }
   throw ParseError("unknown suite '" + name + "' (known: table1, fig8, fig9, "
-                   "fig10, ablation_refine, refine_micro, smoke)");
+                   "fig10, ablation_refine, refine_micro, obs_overhead, "
+                   "smoke)");
 }
 
 ExperimentScale scaleFromFingerprint(const obs::EnvFingerprint& env) {

@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "exec/thread_pool.hpp"
 #include "graph/stats.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "routing/evaluator.hpp"
@@ -58,6 +59,7 @@ struct Pipeline {
     L = hierarchy.depth();
     {
       obs::ScopedSpan span(obs::tracer(), "rahtm.phase.cluster", "rahtm");
+      obs::PhaseScope phase("rahtm.phase.cluster");
       tree = buildClusterTree(graph, rankGrid, concentration,
                               hierarchy.childCountsDeepestFirst(),
                               config.tileSearch);
@@ -241,6 +243,7 @@ Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
   // spans' durations, so the §V-B accounting and a captured trace agree
   // exactly. With tracing disabled the spans degrade to bare stopwatches.
   obs::ScopedSpan total(obs::tracer(), "rahtm.map", "rahtm");
+  obs::PhaseScope totalPhase("rahtm.map");
   stats_ = RahtmStats{};
   const RankId ranks = graph.numRanks();
   total.attr("ranks", static_cast<std::int64_t>(ranks));
@@ -277,6 +280,7 @@ Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
 
   {
     obs::ScopedSpan span(obs::tracer(), "rahtm.phase.pin", "rahtm");
+    obs::PhaseScope phase("rahtm.phase.pin");
     pipe.pin(pool);
     span.attr("subproblems", static_cast<std::int64_t>(stats_.subproblemsSolved));
     stats_.pinSeconds = span.close();
@@ -286,6 +290,7 @@ Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
   Pipeline::BlockMap root;
   {
     obs::ScopedSpan span(obs::tracer(), "rahtm.phase.merge", "rahtm");
+    obs::PhaseScope phase("rahtm.phase.merge");
     root = pipe.mergeUp(0, 0, &rootObjective);
     span.attr("objective", rootObjective);
     stats_.mergeSeconds = span.close();
@@ -319,6 +324,7 @@ Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
   // mapping.
   if (config_.finalRefinement) {
     obs::ScopedSpan span(obs::tracer(), "rahtm.phase.refine", "rahtm");
+    obs::PhaseScope phase("rahtm.phase.refine");
     RefineConfig rcfg = config_.refine;
     rcfg.objective = config_.merge.objective;
     RefineResult rr;

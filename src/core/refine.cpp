@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "routing/delta_eval.hpp"
@@ -103,8 +105,12 @@ RefineResult refineImpl(const Torus& topo, const CommGraph& clusterGraph,
   if (!pruned) {
     for (int pass = 0; pass < cfg.maxPasses; ++pass) {
       ++result.passes;
+      obs::FlightRecorder::instance().record(obs::FrEvent::RefinePass, pass,
+                                             result.swapsApplied);
       bool improved = false;
       for (std::size_t a = 0; a < n; ++a) {
+        obs::Heartbeats::instance().beat(obs::Pulse::RefineProbes,
+                                         n - a - 1);
         for (std::size_t b = a + 1; b < n; ++b) {
           const auto& cand =
               eval.probeSwap(static_cast<RankId>(a), static_cast<RankId>(b));
@@ -146,6 +152,8 @@ RefineResult refineImpl(const Torus& topo, const CommGraph& clusterGraph,
     };
     for (int pass = 0; pass < cfg.maxPasses; ++pass) {
       ++result.passes;
+      obs::FlightRecorder::instance().record(obs::FrEvent::RefinePass, pass,
+                                             result.swapsApplied);
       bool improved = false;
       for (std::size_t a = 0; a < n; ++a) {
         if (dontLook[a]) continue;
@@ -167,6 +175,8 @@ RefineResult refineImpl(const Torus& topo, const CommGraph& clusterGraph,
         }
         std::sort(cands.begin(), cands.end());
         cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+        obs::Heartbeats::instance().beat(obs::Pulse::RefineProbes,
+                                         cands.size());
         bool found = false;
         for (const RankId b : cands) {
           const auto& cand = eval.probeSwap(ra, b);

@@ -11,6 +11,8 @@
 #include "core/milp_mapper.hpp"
 #include "exec/thread_pool.hpp"
 #include "graph/stats.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "routing/delta_eval.hpp"
@@ -113,6 +115,9 @@ SubproblemSolution annealSearch(const CommGraph& g, const Torus& cube,
     RestartResult& out = results[restart];
     out.objective = curObj();
     out.placement = state.placement();
+    obs::FlightRecorder::instance().record(
+        obs::FrEvent::AnnealRestart, static_cast<std::int64_t>(restart),
+        static_cast<std::int64_t>(verts));
 
     // Move targets: another occupied slot (swap) or an empty node
     // (relocation). With a single node there is no move at all.
@@ -124,6 +129,16 @@ SubproblemSolution annealSearch(const CommGraph& g, const Torus& cube,
     const double cooling = std::pow(
         1e-4, 1.0 / static_cast<double>(std::max<long>(1, cfg.annealIters)));
     for (long it = 0; it < cfg.annealIters; ++it) {
+      // Batched liveness: one striped fetch_add per 64 iterations keeps the
+      // hottest loop in the codebase inside the <=2% forensics budget.
+      if ((it & 63) == 0) {
+        obs::Heartbeats::instance().beat(obs::Pulse::AnnealIterations, 64);
+        if ((it & 8191) == 0) {
+          obs::FlightRecorder::instance().record(
+              obs::FrEvent::AnnealEpoch, static_cast<std::int64_t>(restart),
+              it);
+        }
+      }
       const auto a = static_cast<RankId>(rng.nextBounded(verts));
       // Resample the target on collision: a `continue` here would skip the
       // temp update below and make the effective cooling-schedule length
@@ -199,6 +214,9 @@ SubproblemSolution dispatchSubproblem(const CommGraph& g, const Torus& cube,
                                       const SubproblemConfig& cfg,
                                       exec::ThreadPool* pool) {
   const std::int64_t nodes = cube.numNodes();
+  obs::FlightRecorder::instance().record(
+      obs::FrEvent::SubproblemDispatch,
+      static_cast<std::int64_t>(g.numRanks()), nodes);
   if (nodes <= cfg.milpMaxVerts && cfg.objective == MapObjective::Mcl) {
     MilpMapOptions opts;
     opts.timeLimitSec = cfg.milpTimeLimitSec;

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
 
 namespace rahtm::exec {
@@ -85,6 +87,9 @@ void ThreadPool::runTasks(Job& job) {
   for (;;) {
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.n) break;
+    obs::FlightRecorder::instance().record(
+        obs::FrEvent::PoolTaskBegin, static_cast<std::int64_t>(i),
+        static_cast<std::int64_t>(job.n));
     const auto t0 = job.timed ? std::chrono::steady_clock::now()
                               : std::chrono::steady_clock::time_point{};
     try {
@@ -100,6 +105,10 @@ void ThreadPool::runTasks(Job& job) {
       job.busyUs.fetch_add(us, std::memory_order_relaxed);
     }
     job.finished.fetch_add(1, std::memory_order_release);
+    obs::Heartbeats::instance().beat(obs::Pulse::PoolTasks);
+    obs::FlightRecorder::instance().record(
+        obs::FrEvent::PoolTaskEnd, static_cast<std::int64_t>(i),
+        static_cast<std::int64_t>(job.n));
   }
   tlInParallelRegion = wasInRegion;
 }

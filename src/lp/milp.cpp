@@ -5,6 +5,8 @@
 #include <queue>
 
 #include "common/timer.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -72,6 +74,9 @@ MilpSolution solveMilp(const Model& rootModel, const MilpOptions& opts) {
       result.hasIncumbent = true;
       result.incumbentTrail.emplace_back(result.nodesExplored,
                                          minimize * obj);
+      obs::FlightRecorder::instance().record(
+          obs::FrEvent::MilpIncumbent, result.nodesExplored,
+          static_cast<std::int64_t>(minimize * obj));
       if (obs::Tracer* t = obs::tracer()) {
         t->instant("milp.incumbent", "lp",
                    {{"objective", obs::jsonDouble(minimize * obj)},
@@ -97,6 +102,12 @@ MilpSolution solveMilp(const Model& rootModel, const MilpOptions& opts) {
     open.pop();
     if (node.bound >= incumbentObj - opts.gapTol) continue;  // pruned
     ++result.nodesExplored;
+    obs::Heartbeats::instance().beat(obs::Pulse::MilpNodes);
+    if ((result.nodesExplored & 255) == 0) {
+      obs::FlightRecorder::instance().record(
+          obs::FrEvent::MilpNodes, result.nodesExplored,
+          static_cast<std::int64_t>(open.size()));
+    }
 
     // Apply node bounds.
     std::vector<std::pair<VarId, std::pair<double, double>>> saved;

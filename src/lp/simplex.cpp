@@ -6,6 +6,8 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
 
 namespace rahtm::lp {
@@ -346,6 +348,11 @@ class Simplex {
       } else {
         applyPivot(enter, sigma, tMax, leaveRow, leaveBound);
         ++pivots_;
+        obs::Heartbeats::instance().beat(obs::Pulse::SimplexPivots);
+        if ((pivots_ & 4095) == 0) {
+          obs::FlightRecorder::instance().record(obs::FrEvent::SimplexPivots,
+                                                 pivots_, m_);
+        }
         if (++sincePivot >= opts_.refactorEvery) {
           if (!refactorize()) return SolveStatus::IterLimit;
           sincePivot = 0;

@@ -139,6 +139,24 @@ const Histogram* MetricsRegistry::findHistogram(
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
+std::vector<std::pair<std::string, const Counter*>>
+MetricsRegistry::counterRefs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Gauge*>> MetricsRegistry::gaugeRefs()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g.get());
+  return out;
+}
+
 void MetricsRegistry::writeJson(std::ostream& os) const {
   std::lock_guard<std::mutex> lock(mu_);
   os << "{\"counters\":{";

@@ -100,6 +100,13 @@ class MetricsRegistry {
   const Counter* findCounter(const std::string& name) const;
   const Histogram* findHistogram(const std::string& name) const;
 
+  /// Stable (name, pointer) lists of the current counters/gauges, captured
+  /// under the registry lock. The post-mortem writer (obs/postmortem.cpp)
+  /// takes these in normal context so a signal handler can later read the
+  /// atomics without touching the registry mutex.
+  std::vector<std::pair<std::string, const Counter*>> counterRefs() const;
+  std::vector<std::pair<std::string, const Gauge*>> gaugeRefs() const;
+
   /// Snapshot everything as JSON:
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
   ///  max,buckets:[{le,count},...]}}}.

@@ -253,6 +253,12 @@ ThresholdMap defaultThresholds() {
       {"commits", inf},
       {"dense_sweeps", inf},
       {"iterations", inf},
+      // Forensics overhead gate (bench/suites.cpp obs_overhead): the
+      // enabled/disabled ratio is gated at 2%; the raw wall times backing
+      // it are noise like any other timing.
+      {"overhead_ratio", 0.02},
+      {"forensics_on_seconds", inf},
+      {"forensics_off_seconds", inf},
   };
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <map>
 #include <ostream>
 
@@ -16,7 +17,35 @@ std::atomic<Tracer*> g_tracer{nullptr};
 Tracer* tracer() { return g_tracer.load(std::memory_order_acquire); }
 void setTracer(Tracer* t) { g_tracer.store(t, std::memory_order_release); }
 
-Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  if (const char* v = std::getenv("RAHTM_TRACE_CAP")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end != v && *end == '\0' && parsed > 0) {
+      eventCap_ = static_cast<std::size_t>(parsed);
+    }
+  }
+}
+
+void Tracer::setEventCap(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  eventCap_ = cap;
+}
+
+std::size_t Tracer::eventCap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return eventCap_;
+}
+
+bool Tracer::tryVisitOpenSpans(void (*fn)(void*, const TraceEvent&),
+                               void* ctx) const {
+  if (!mu_.try_lock()) return false;
+  for (const TraceEvent& e : events_) {
+    if (e.open()) fn(ctx, e);
+  }
+  mu_.unlock();
+  return true;
+}
 
 std::int64_t Tracer::nowUs() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -36,6 +65,10 @@ std::uint32_t Tracer::threadTagLocked() {
 SpanId Tracer::beginSpan(std::string name, std::string category) {
   const std::int64_t ts = nowUs();
   std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= eventCap_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return kNoSpan;
+  }
   TraceEvent e;
   e.name = std::move(name);
   e.category = std::move(category);
@@ -48,6 +81,7 @@ SpanId Tracer::beginSpan(std::string name, std::string category) {
 
 std::int64_t Tracer::endSpan(SpanId id) {
   const std::int64_t ts = nowUs();
+  if (id == kNoSpan) return 0;  // span was dropped at the cap
   std::lock_guard<std::mutex> lock(mu_);
   RAHTM_REQUIRE(id >= 0 && id < static_cast<SpanId>(events_.size()),
                 "Tracer::endSpan: bad span id");
@@ -57,6 +91,7 @@ std::int64_t Tracer::endSpan(SpanId id) {
 }
 
 void Tracer::attr(SpanId id, std::string key, std::string jsonValue) {
+  if (id == kNoSpan) return;  // span was dropped at the cap
   std::lock_guard<std::mutex> lock(mu_);
   RAHTM_REQUIRE(id >= 0 && id < static_cast<SpanId>(events_.size()),
                 "Tracer::attr: bad span id");
@@ -68,6 +103,10 @@ void Tracer::instant(std::string name, std::string category,
                      std::vector<std::pair<std::string, std::string>> args) {
   const std::int64_t ts = nowUs();
   std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= eventCap_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   TraceEvent e;
   e.name = std::move(name);
   e.category = std::move(category);
@@ -161,7 +200,7 @@ void Tracer::writeSummary(std::ostream& os) const {
     first = false;
     os << "\n" << jsonString(name) << ":{\"count\":" << count << "}";
   }
-  os << "\n}}\n";
+  os << "\n},\"dropped_events\":" << droppedEvents() << "}\n";
 }
 
 }  // namespace rahtm::obs

@@ -20,6 +20,7 @@
 /// are appended under a mutex (tracing targets phase/solver granularity,
 /// not per-flit granularity, so contention is negligible).
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
@@ -57,15 +58,39 @@ struct TraceEvent {
 
 class Tracer {
  public:
+  /// Default event cap (RAHTM_TRACE_CAP overrides): deliberately generous —
+  /// the cap exists so a long simnet run with tracing left on degrades into
+  /// a counted drop instead of unbounded memory growth.
+  static constexpr std::size_t kDefaultEventCap = 1 << 20;
+
   Tracer();
 
-  /// Start a span; returns its id for endSpan()/attr().
+  /// Start a span; returns its id for endSpan()/attr(), or kNoSpan once
+  /// the event cap is reached (the drop is counted; endSpan/attr tolerate
+  /// kNoSpan).
   SpanId beginSpan(std::string name, std::string category);
-  /// Close a span; returns its recorded duration in microseconds.
+  /// Close a span; returns its recorded duration in microseconds (0 for
+  /// kNoSpan).
   std::int64_t endSpan(SpanId id);
 
-  /// Attach an attribute to an open or closed span.
+  /// Attach an attribute to an open or closed span. No-op for kNoSpan.
   void attr(SpanId id, std::string key, std::string jsonValue);
+
+  /// Maximum retained events; recording past it drops (and counts). The
+  /// initial value comes from RAHTM_TRACE_CAP (default kDefaultEventCap).
+  void setEventCap(std::size_t cap);
+  std::size_t eventCap() const;
+  /// Events dropped at the cap; surfaced by writeSummary().
+  std::int64_t droppedEvents() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Visit every currently-open span under try_lock; returns false (having
+  /// visited nothing) when the lock is contended. \p fn is a plain function
+  /// pointer so the post-mortem signal path can use this without
+  /// allocating.
+  bool tryVisitOpenSpans(void (*fn)(void*, const TraceEvent&),
+                         void* ctx) const;
 
   /// Record a zero-duration instant event (e.g. a MILP incumbent update).
   void instant(std::string name, std::string category,
@@ -91,6 +116,8 @@ class Tracer {
   std::chrono::steady_clock::time_point epoch_;
   std::vector<TraceEvent> events_;
   std::vector<std::thread::id> threads_;  ///< dense thread-id mapping
+  std::size_t eventCap_ = kDefaultEventCap;  ///< guarded by mu_
+  std::atomic<std::int64_t> dropped_{0};
 };
 
 /// Process-global tracer; null (the default) disables tracing everywhere.
@@ -129,7 +156,7 @@ class ScopedSpan {
   double close() {
     if (!closed_) {
       closed_ = true;
-      if (tracer_ != nullptr) {
+      if (tracer_ != nullptr && id_ != kNoSpan) {
         // Use the tracer's recorded duration so span-derived statistics
         // match the trace file exactly.
         seconds_ = static_cast<double>(tracer_->endSpan(id_)) * 1e-6;

@@ -1,0 +1,179 @@
+#include "obs/watchdog.hpp"
+
+#include <array>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/postmortem.hpp"
+
+namespace rahtm::obs {
+
+namespace {
+
+double envDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, double>> parsePhaseDeadlines(
+    const std::string& spec) {
+  std::vector<std::pair<std::string, double>> out;
+  if (spec.empty()) return out;
+  for (const std::string& part : split(spec, ',')) {
+    const auto eq = part.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw ParseError("watchdog phases: expected name=seconds, got '" +
+                       part + "'");
+    }
+    out.emplace_back(part.substr(0, eq), parseDouble(part.substr(eq + 1)));
+  }
+  return out;
+}
+
+WatchdogConfig watchdogConfigFromEnv() {
+  WatchdogConfig cfg;
+  if (const char* v = std::getenv("RAHTM_WATCHDOG")) {
+    if (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0) {
+      cfg.enabled = false;
+    }
+  }
+  cfg.pollMs = static_cast<int>(envDouble("RAHTM_WATCHDOG_POLL_MS", 250.0));
+  if (cfg.pollMs < 1) cfg.pollMs = 1;
+  cfg.defaultDeadlineSec = envDouble("RAHTM_WATCHDOG_SEC", 60.0);
+  if (const char* v = std::getenv("RAHTM_WATCHDOG_PHASES")) {
+    cfg.phaseDeadlines = parsePhaseDeadlines(v);
+  }
+  if (const char* v = std::getenv("RAHTM_WATCHDOG_ACTION")) {
+    if (std::strcmp(v, "log") == 0) cfg.action = WatchdogAction::Log;
+    else if (std::strcmp(v, "dump") == 0) cfg.action = WatchdogAction::Dump;
+    else if (std::strcmp(v, "abort") == 0) cfg.action = WatchdogAction::Abort;
+  }
+  cfg.postmortemDir = postmortemDirFromEnv();
+  return cfg;
+}
+
+Watchdog::Watchdog(WatchdogConfig cfg) : cfg_(std::move(cfg)) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::start() {
+  if (!cfg_.enabled || thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopRequested_ = false;
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Watchdog::stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopRequested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+double Watchdog::deadlineFor(const char* phase) const {
+  if (phase != nullptr) {
+    for (const auto& [name, sec] : cfg_.phaseDeadlines) {
+      if (std::strncmp(phase, name.c_str(), name.size()) == 0) return sec;
+    }
+  }
+  return cfg_.defaultDeadlineSec;
+}
+
+void Watchdog::loop() {
+  using Clock = std::chrono::steady_clock;
+  Heartbeats& hb = Heartbeats::instance();
+
+  std::array<std::uint64_t, static_cast<std::size_t>(kPulseCount)> last{};
+  for (int p = 0; p < kPulseCount; ++p) {
+    last[static_cast<std::size_t>(p)] = hb.value(static_cast<Pulse>(p));
+  }
+  const char* lastPhase = hb.currentPhase();
+  int lastDepth = hb.phaseDepth();
+  Clock::time_point lastProgress = Clock::now();
+  int stage = 0;
+
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_.wait_for(lock, std::chrono::milliseconds(cfg_.pollMs),
+                       [this] { return stopRequested_; })) {
+        return;
+      }
+    }
+
+    bool progressed = false;
+    for (int p = 0; p < kPulseCount; ++p) {
+      const std::uint64_t v = hb.value(static_cast<Pulse>(p));
+      if (v != last[static_cast<std::size_t>(p)]) progressed = true;
+      last[static_cast<std::size_t>(p)] = v;
+    }
+    const char* phase = hb.currentPhase();
+    const int depth = hb.phaseDepth();
+    if (phase != lastPhase || depth != lastDepth) {
+      progressed = true;
+      lastPhase = phase;
+      lastDepth = depth;
+    }
+    if (progressed || phase == nullptr) {
+      lastProgress = Clock::now();
+      stage = 0;
+      continue;
+    }
+
+    const double stalled =
+        std::chrono::duration<double>(Clock::now() - lastProgress).count();
+    const double deadline = deadlineFor(phase);
+    if (deadline <= 0.0) continue;
+
+    int due = static_cast<int>(stalled / deadline);
+    if (due > static_cast<int>(cfg_.action)) due = static_cast<int>(cfg_.action);
+    while (stage < due) {
+      ++stage;
+      lastStage_.store(stage, std::memory_order_relaxed);
+      FlightRecorder::instance().record(FrEvent::WatchdogStall, stage,
+                                        static_cast<std::int64_t>(stalled));
+      if (stage == 1) {
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        std::ostringstream msg;
+        msg << "watchdog: no progress for " << stalled << "s in phase '"
+            << phase << "' (deadline " << deadline << "s); heartbeats:";
+        for (const auto& [name, v] : hb.snapshot()) {
+          msg << ' ' << name << '=' << v;
+        }
+        RAHTM_LOG(Warn) << msg.str();
+      } else if (stage == 2) {
+        RAHTM_LOG(Warn) << "watchdog: stall persists (" << stalled
+                        << "s); writing post-mortem";
+        writePostmortemNow("stall", cfg_.postmortemDir.c_str());
+      }
+      if (onStall_) {
+        onStall_(stage, phase != nullptr ? std::string(phase) : std::string(),
+                 stalled);
+      } else if (stage == 3) {
+        RAHTM_LOG(Error) << "watchdog: stall persists (" << stalled
+                         << "s); aborting";
+        std::abort();
+      }
+    }
+  }
+}
+
+}  // namespace rahtm::obs

@@ -1,0 +1,113 @@
+#pragma once
+/// \file watchdog.hpp
+/// Stall watchdog for the run-forensics layer.
+///
+/// A dedicated thread samples the global heartbeat counters
+/// (obs/heartbeat.hpp) every poll interval. As long as any counter moved —
+/// or the phase stack changed — the run is making progress. When nothing
+/// moves for longer than the active phase's deadline, the watchdog
+/// escalates in stages, each gated by the configured ceiling action:
+///   stage 1 (deadline):      log a stall report with the last heartbeats
+///   stage 2 (2 x deadline):  write a `rahtm.postmortem/v1` artifact
+///   stage 3 (3 x deadline):  std::abort() (the abort itself produces a
+///                            second post-mortem via the SIGABRT handler)
+///
+/// Deadlines are per-phase: RAHTM_WATCHDOG_PHASES=milp=30,simnet.run=120
+/// overrides the default RAHTM_WATCHDOG_SEC for phases whose published name
+/// matches a key exactly or by prefix (so `rahtm.phase.refine` matches a
+/// `rahtm.phase` key). The watchdog never fires outside any phase — idle
+/// tool startup/teardown is not a stall.
+///
+/// Environment (CLI flags in tools/ override these):
+///   RAHTM_WATCHDOG          = off|0 disables
+///   RAHTM_WATCHDOG_POLL_MS  = poll interval (default 250)
+///   RAHTM_WATCHDOG_SEC      = default per-phase deadline (default 60)
+///   RAHTM_WATCHDOG_PHASES   = name=seconds,name=seconds overrides
+///   RAHTM_WATCHDOG_ACTION   = log|dump|abort escalation ceiling
+///                             (default dump)
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rahtm::obs {
+
+enum class WatchdogAction : int {
+  Log = 1,   ///< escalate no further than logging
+  Dump = 2,  ///< log, then write a post-mortem artifact
+  Abort = 3, ///< log, dump, then abort the process
+};
+
+struct WatchdogConfig {
+  bool enabled = true;
+  int pollMs = 250;
+  double defaultDeadlineSec = 60.0;
+  /// Phase-name (exact or prefix) -> deadline seconds.
+  std::vector<std::pair<std::string, double>> phaseDeadlines;
+  WatchdogAction action = WatchdogAction::Dump;
+  /// Directory for stage-2 post-mortem artifacts ("" = current dir).
+  std::string postmortemDir;
+};
+
+/// Config from the RAHTM_WATCHDOG* environment variables.
+WatchdogConfig watchdogConfigFromEnv();
+
+/// Parse "name=seconds,name=seconds" into phase deadlines (throws
+/// rahtm::ParseError on malformed input).
+std::vector<std::pair<std::string, double>> parsePhaseDeadlines(
+    const std::string& spec);
+
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogConfig cfg);
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Spawn the watchdog thread. No-op when disabled or already started.
+  void start();
+  /// Stop and join the thread. Safe to call repeatedly; the destructor
+  /// calls it.
+  void stop();
+
+  bool running() const { return thread_.joinable(); }
+  /// Stall episodes detected so far (an episode counts once, at stage 1).
+  std::int64_t stallsDetected() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+  /// Highest escalation stage reached in the current/last episode (0 =
+  /// none, 1 = logged, 2 = dumped, 3 = aborted-requested).
+  int lastStage() const { return lastStage_.load(std::memory_order_relaxed); }
+
+  /// Test hook: called on every escalation with (stage, phase-or-"",
+  /// stalledSeconds) from the watchdog thread, instead of the default
+  /// stage-3 abort when set. Set before start().
+  void setOnStall(
+      std::function<void(int, const std::string&, double)> onStall) {
+    onStall_ = std::move(onStall);
+  }
+
+  /// Deadline for \p phase (nullptr = outside any phase -> returns the
+  /// default). Exposed for tests.
+  double deadlineFor(const char* phase) const;
+
+ private:
+  void loop();
+
+  WatchdogConfig cfg_;
+  std::function<void(int, const std::string&, double)> onStall_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopRequested_ = false;
+  std::atomic<std::int64_t> stalls_{0};
+  std::atomic<int> lastStage_{0};
+};
+
+}  // namespace rahtm::obs

@@ -8,6 +8,8 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -88,6 +90,7 @@ class IterationSim {
 
   PhaseResult run(const std::vector<Phase>& stages) {
     obs::ScopedSpan span(obs::tracer(), "simnet.run", "simnet");
+    obs::PhaseScope phase("simnet.run");
     span.attr("stages", static_cast<std::int64_t>(stages.size()));
     loadStages(stages);
     if (cfg_.linkCapture != nullptr) {
@@ -100,11 +103,23 @@ class IterationSim {
     const bool sampling =
         (hQueue_ != nullptr || cfg_.linkCapture != nullptr) &&
         cfg_.statSampleCycles > 0;
+    obs::Heartbeats& hb = obs::Heartbeats::instance();
+    obs::FlightRecorder& fr = obs::FlightRecorder::instance();
+    const auto liveness = [&](std::int64_t c) {
+      // Batched: one striped fetch_add per 64 cycles, a ring event per 4096.
+      if ((c & 63) == 0) {
+        hb.beat(obs::Pulse::SimnetCycles, 64);
+        if ((c & 4095) == 0) {
+          fr.record(obs::FrEvent::SimnetEpoch, c, remaining_);
+        }
+      }
+    };
     if (sampling) {
       while (remaining_ > 0) {
         RAHTM_REQUIRE(cycle < cfg_.maxCycles,
                       "simulate: cycle guard exceeded (livelock?)");
         if (cycle % cfg_.statSampleCycles == 0) sampleQueueOccupancy(cycle);
+        liveness(cycle);
         step(cycle);
         ++cycle;
       }
@@ -113,6 +128,7 @@ class IterationSim {
       while (remaining_ > 0) {
         RAHTM_REQUIRE(cycle < cfg_.maxCycles,
                       "simulate: cycle guard exceeded (livelock?)");
+        liveness(cycle);
         step(cycle);
         ++cycle;
       }

@@ -29,7 +29,7 @@ run_config sanitize "" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRAHTM_SANITIZE=address,undefined
 # TSan pass: only the suites that exercise the thread pool and the
 # parallel pipeline paths (the serial suites add nothing under TSan).
-run_config tsan 'test_exec|test_subproblem|test_rahtm' \
+run_config tsan 'test_exec|test_subproblem|test_rahtm|test_flight_recorder' \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRAHTM_SANITIZE=thread
 
 # Benchmark-regression gate: emit the smoke ledger at the small scale,
@@ -56,4 +56,32 @@ RAHTM_NODES=32 RAHTM_CONC=2 RAHTM_SIM_ITERS=1 \
 "$bench_bin" --validate "$bench_out/BENCH_refine_micro.json"
 "$bench_bin" --baseline "$repo/bench/baseline/BENCH_refine_micro.json" --check
 
-echo "==== CI passed (release + sanitize + tsan + bench-smoke + refine-micro)"
+# Forensics stage: the deliberately misbehaving fixture must leave valid
+# rahtm.postmortem/v1 artifacts behind for every escalation path (watchdog
+# stall dump, SIGSEGV handler, SIGABRT handler), and the always-on
+# instrumentation must stay inside its <=2% overhead budget (gated via the
+# committed obs_overhead baseline, whose overhead_ratio is pinned at 1.0 so
+# the 2% threshold reads as an absolute budget).
+echo "==== [forensics] post-mortem artifacts + overhead gate"
+fixture="$repo/build-ci-release/tools/rahtm_forensics_fixture"
+pm_dir="$repo/build-ci-release/forensics"
+rm -rf "$pm_dir" && mkdir -p "$pm_dir"
+
+"$fixture" --mode stall --dir "$pm_dir" --deadline-sec 0.2
+rc=0; "$fixture" --mode crash --dir "$pm_dir" 2>/dev/null || rc=$?
+[[ "$rc" -eq 139 ]] || { echo "crash fixture: expected SIGSEGV (139), got $rc"; exit 1; }
+rc=0; "$fixture" --mode abort --dir "$pm_dir" 2>/dev/null || rc=$?
+[[ "$rc" -eq 134 ]] || { echo "abort fixture: expected SIGABRT (134), got $rc"; exit 1; }
+
+for reason in stall sigsegv sigabrt; do
+  artifact="$pm_dir/postmortem.$reason.json"
+  [[ -s "$artifact" ]] || { echo "missing forensics artifact: $artifact"; exit 1; }
+  "$bench_bin" --validate "$artifact"
+done
+
+RAHTM_NODES=32 RAHTM_CONC=2 RAHTM_SIM_ITERS=1 \
+  "$bench_bin" --suites obs_overhead --out "$bench_out"
+"$bench_bin" --validate "$bench_out/BENCH_obs_overhead.json"
+"$bench_bin" --baseline "$repo/bench/baseline/BENCH_obs_overhead.json" --check
+
+echo "==== CI passed (release + sanitize + tsan + bench-smoke + refine-micro + forensics)"

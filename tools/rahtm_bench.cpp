@@ -26,6 +26,7 @@
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "obs/json_reader.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/report.hpp"
 
 namespace {
@@ -39,10 +40,10 @@ int usage(const char* argv0) {
       << "                  [--thresholds metric=rel,...] [--out DIR]\n"
       << "       " << argv0 << " --validate FILE\n"
       << "       [--trace-out FILE] [--trace-summary FILE] "
-         "[--metrics-out FILE] [--verbose]\n"
+         "[--metrics-out FILE] [--postmortem-dir DIR] [--verbose]\n"
       << "\n"
       << "suites: table1, fig8, fig9, fig10, ablation_refine, refine_micro, "
-         "smoke\n"
+         "obs_overhead, smoke\n"
       << "\n"
       << "Each suite writes BENCH_<suite>.json: a versioned ledger of the\n"
       << "suite's measured metrics (MCL, hop-bytes, simulated cycles,\n"
@@ -51,7 +52,12 @@ int usage(const char* argv0) {
       << "at the baseline's recorded scale, so it is reproducible whatever\n"
       << "the current RAHTM_NODES/CONC/BYTES say. Default thresholds: mcl\n"
       << "and hop_bytes 2%, comm/overall cycles 5%, map_seconds ungated;\n"
-      << "override with --thresholds mcl=0.1,comm_cycles=0.2.\n";
+      << "override with --thresholds mcl=0.1,comm_cycles=0.2.\n"
+      << "\n"
+      << "--validate accepts both rahtm.bench.report/v1 ledgers and\n"
+      << "rahtm.postmortem/v1 artifacts (dispatched on the 'schema' key).\n"
+      << "--postmortem-dir installs the crash/stall post-mortem handlers\n"
+      << "for the benchmark run itself (default RAHTM_POSTMORTEM_DIR).\n";
   return 2;
 }
 
@@ -88,17 +94,25 @@ int runValidate(const std::string& path) {
   std::ostringstream ss;
   ss << in.rdbuf();
   std::vector<std::string> problems;
+  // Dispatch on the document's declared schema: ledgers and post-mortem
+  // artifacts share the one --validate entry point.
+  std::string kind = "ledger";
   try {
     const obs::JsonValue doc = obs::parseJson(ss.str());
-    problems = obs::validateReportJson(doc);
+    if (doc.stringOr("schema", "") == obs::kPostmortemSchema) {
+      kind = "postmortem";
+      problems = obs::validatePostmortemJson(doc);
+    } else {
+      problems = obs::validateReportJson(doc);
+    }
   } catch (const std::exception& e) {
     problems.push_back(e.what());
   }
   if (problems.empty()) {
-    std::cout << path << ": schema-valid ledger\n";
+    std::cout << path << ": schema-valid " << kind << "\n";
     return 0;
   }
-  std::cerr << path << ": INVALID ledger:\n";
+  std::cerr << path << ": INVALID " << kind << ":\n";
   for (const std::string& p : problems) std::cerr << "  " << p << "\n";
   return 1;
 }
@@ -115,6 +129,12 @@ int main(int argc, char** argv) {
     if (args.has("validate")) {
       return runValidate(args.getString("validate", ""));
     }
+
+    // Benchmark runs are exactly the long solves the forensics layer is
+    // for: install the post-mortem handlers before any suite work.
+    std::string pmDir = args.getString("postmortem-dir", "");
+    if (pmDir.empty()) pmDir = obs::postmortemDirFromEnv();
+    obs::installPostmortem(pmDir);
 
     const std::string outDir = args.getString("out", ".");
 

@@ -30,7 +30,9 @@
 #include "mapping/mapfile.hpp"
 #include "mapping/permutation.hpp"
 #include "mapping/rubik.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/watchdog.hpp"
 #include "profile/profile.hpp"
 #include "routing/oblivious.hpp"
 #include "simnet/simulator.hpp"
@@ -58,7 +60,9 @@ int usage(const char* argv0) {
          "[--no-refine] [--verbose]\n"
       << "          [--threads N] [--trace-out FILE] [--trace-summary FILE] "
          "[--metrics-out FILE]\n"
-      << "          [--link-heatmap FILE]\n"
+      << "          [--link-heatmap FILE] [--postmortem-dir DIR]\n"
+      << "          [--watchdog-sec S] [--watchdog-phases name=S,...]\n"
+      << "          [--watchdog-action log|dump|abort] [--no-watchdog]\n"
       << "\n"
       << "--threads N parallelizes the RAHTM compute phases over N threads\n"
       << "(0 = all hardware threads; the RAHTM_THREADS environment variable\n"
@@ -76,7 +80,15 @@ int usage(const char* argv0) {
       << "--link-heatmap FILE simulates the finished mapping (even with\n"
       << "telemetry off) and writes the per-channel flit-load matrix plus a\n"
       << "time-bucketed queue-occupancy series as JSON, for plotting where\n"
-      << "the mapping actually puts traffic.\n";
+      << "the mapping actually puts traffic.\n"
+      << "\n"
+      << "Forensics (always on): a crash, std::terminate, or a phase that\n"
+      << "stalls past its watchdog deadline leaves a rahtm.postmortem/v1\n"
+      << "JSON artifact (flight-recorder rings, heartbeats, metrics) in\n"
+      << "--postmortem-dir (default RAHTM_POSTMORTEM_DIR or '.'). The\n"
+      << "RAHTM_WATCHDOG_* environment variables are fallbacks for the\n"
+      << "watchdog flags; RAHTM_RECORDER/RAHTM_HEARTBEATS=off disable the\n"
+      << "recorder/heartbeats.\n";
   return 2;
 }
 
@@ -101,11 +113,74 @@ int main(int argc, char** argv) {
     }
     obs::TelemetrySession telemetry(tele);
 
+    // ---- Run forensics (always on; see obs/postmortem.hpp) ----------------
+    std::string pmDir = args.getString("postmortem-dir", "");
+    if (pmDir.empty()) pmDir = obs::postmortemDirFromEnv();
+    if (obs::metrics() == nullptr) {
+      // Post-mortem artifacts embed a metrics snapshot; give the process a
+      // registry even when --metrics-out is off.
+      static obs::MetricsRegistry forensicsMetrics;
+      obs::registerStandardMetrics(forensicsMetrics);
+      obs::setMetrics(&forensicsMetrics);
+    }
+    obs::installPostmortem(pmDir);
+    obs::WatchdogConfig wd = obs::watchdogConfigFromEnv();
+    wd.postmortemDir = pmDir;
+    if (args.has("watchdog-sec")) {
+      wd.defaultDeadlineSec =
+          args.getDouble("watchdog-sec", wd.defaultDeadlineSec);
+    }
+    if (args.has("watchdog-phases")) {
+      wd.phaseDeadlines =
+          obs::parsePhaseDeadlines(args.getString("watchdog-phases", ""));
+    }
+    if (args.has("watchdog-action")) {
+      const std::string action = args.getString("watchdog-action", "dump");
+      if (action == "log") wd.action = obs::WatchdogAction::Log;
+      else if (action == "dump") wd.action = obs::WatchdogAction::Dump;
+      else if (action == "abort") wd.action = obs::WatchdogAction::Abort;
+      else {
+        std::cerr << "unknown --watchdog-action '" << action << "'\n";
+        return usage(argv[0]);
+      }
+    }
+    if (args.getBool("no-watchdog")) wd.enabled = false;
+    obs::Watchdog watchdog(wd);
+    watchdog.start();
+
     const Torus machine = Torus::torus(parseShape(args.getString("machine", "")));
     const int concentration =
         static_cast<int>(args.getInt("concentration", 1));
     const auto ranks =
         static_cast<RankId>(machine.numNodes() * concentration);
+
+    // Error-path telemetry: an exception or early return must still leave
+    // the trace/metrics files and any captured link heatmap behind, not
+    // just the post-mortem artifact.
+    simnet::LinkLoadCapture capture;
+    const std::string heatmapPath = args.getString("link-heatmap", "");
+    struct ErrorFlushGuard {
+      obs::TelemetrySession& telemetry;
+      const Torus& machine;
+      const simnet::LinkLoadCapture& capture;
+      const std::string& heatmapPath;
+      bool armed = true;
+      ~ErrorFlushGuard() {
+        if (!armed) return;
+        try {
+          telemetry.flush();
+          if (telemetry.enabled()) {
+            std::cerr << "  (flushed telemetry artifacts on error path)\n";
+          }
+          if (!heatmapPath.empty() && !capture.channels.empty()) {
+            std::ofstream heat(heatmapPath);
+            if (heat) simnet::writeLinkHeatmapJson(heat, machine, capture);
+          }
+        } catch (...) {
+          // Salvaging artifacts must never mask the original error.
+        }
+      }
+    } flushGuard{telemetry, machine, capture, heatmapPath};
 
     // ---- Input: profile file or named synthetic workload -----------------
     CommGraph graph;
@@ -134,7 +209,6 @@ int main(int argc, char** argv) {
       grid = w.logicalGrid;
       simStages = w.phases;
     }
-    const std::string heatmapPath = args.getString("link-heatmap", "");
     const bool simulate = telemetry.enabled() || !heatmapPath.empty();
     if (simulate && simStages.empty()) {
       // Profile input carries no per-stage structure: simulate the
@@ -212,7 +286,6 @@ int main(int argc, char** argv) {
     if (simulate) {
       simnet::SimConfig sim;
       sim.injectionBandwidth = 8;
-      simnet::LinkLoadCapture capture;
       if (!heatmapPath.empty()) sim.linkCapture = &capture;
       const simnet::PhaseResult r =
           simnet::simulateIteration(machine, mapping, simStages, sim);
@@ -237,6 +310,7 @@ int main(int argc, char** argv) {
         std::cerr << "  wrote " << tele.metricsOutPath << "\n";
       }
     }
+    flushGuard.armed = false;
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
