@@ -63,10 +63,24 @@ std::unique_ptr<obs::TelemetrySession> telemetryFromCli(int argc,
 }
 
 ExperimentScale ExperimentScale::fromEnv() {
-  return fromSpec(envInt("RAHTM_NODES", 128),
-                  static_cast<int>(envInt("RAHTM_CONC", 8)),
-                  envInt("RAHTM_BYTES", 4096),
-                  static_cast<int>(envInt("RAHTM_SIM_ITERS", 4)));
+  ExperimentScale scale =
+      fromSpec(envInt("RAHTM_NODES", 128),
+               static_cast<int>(envInt("RAHTM_CONC", 8)),
+               envInt("RAHTM_BYTES", 4096),
+               static_cast<int>(envInt("RAHTM_SIM_ITERS", 4)));
+  // RAHTM_SIM_FIDELITY=flow swaps the cycle sim for the flow-level
+  // analytic estimate (DESIGN.md §12). Results-changing, so it is honored
+  // only here — never in fromSpec, which regression checks use to re-run a
+  // baseline's recorded configuration.
+  if (const char* f = std::getenv("RAHTM_SIM_FIDELITY")) {
+    const std::string v(f);
+    if (v == "flow") {
+      scale.sim.fidelity = simnet::SimFidelity::Flow;
+    } else if (!v.empty() && v != "cycle") {
+      throw ParseError("RAHTM_SIM_FIDELITY must be 'cycle' or 'flow'");
+    }
+  }
+  return scale;
 }
 
 ExperimentScale ExperimentScale::fromSpec(std::int64_t nodes,
@@ -87,6 +101,10 @@ ExperimentScale ExperimentScale::fromSpec(std::int64_t nodes,
   // BG/Q-like NIC: injection outruns a single link so network contention —
   // the effect RAHTM optimizes — is visible (DESIGN.md §1).
   scale.sim.injectionBandwidth = 4;
+  // Simulator worker threads (RAHTM_SIM_THREADS, 0 = all cores). Safe to
+  // honor even when re-running a baseline's recorded spec: the sharded
+  // engine's results are bit-identical for every thread count.
+  scale.sim.threads = static_cast<int>(envInt("RAHTM_SIM_THREADS", 1));
   return scale;
 }
 

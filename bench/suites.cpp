@@ -1,6 +1,7 @@
 #include "bench/suites.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
@@ -293,11 +294,105 @@ obs::RunReport suiteObsOverhead(const ExperimentScale& scale) {
   return report;
 }
 
+/// Gate for the simulator itself. One CG run (the scale's machine, a fixed
+/// block mapping so no mapper noise enters) measured three ways:
+///  * cycle sim, 1 worker — the reference results and serial wall-clock;
+///  * cycle sim, all cores — `determinism_mismatches` counts any field of
+///    the PhaseResult that differs from the serial run (committed baseline
+///    0, so any nonzero fails the ledger gate hard) and the threaded
+///    wall-clock / speedup ride along ungated (host-dependent);
+///  * flow mode — `flow_cycles_rel_err` / `flow_mcl_rel_err` gate the
+///    fidelity ladder's error bound; conservation mismatches are counted
+///    into `flow_conservation_mismatches` (baseline 0, exact by design).
+obs::RunReport suiteSimnetMicro(const ExperimentScale& scale) {
+  obs::RunReport report;
+  report.suite = "simnet_micro";
+
+  const Workload w = makeNasByName("CG", scale.ranks(), scale.params);
+  // Fixed-seed scrambled placement: long-range, contended traffic like the
+  // worst roster mappings the end-to-end suites simulate — a block mapping
+  // would leave the network (and the parallel workers) mostly idle.
+  const int nodes = static_cast<int>(scale.machine.numNodes());
+  std::vector<NodeId> place(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) place[static_cast<std::size_t>(i)] = i;
+  Rng(0xbad5eed).shuffle(place);
+  Mapping m(static_cast<RankId>(scale.ranks()));
+  for (RankId r = 0; r < m.numRanks(); ++r) {
+    m.assign(r, place[static_cast<std::size_t>(r / scale.concentration)],
+             r % scale.concentration);
+  }
+  std::vector<simnet::Phase> stages;
+  stages.reserve(w.phases.size() * static_cast<std::size_t>(scale.simIterations));
+  for (int it = 0; it < scale.simIterations; ++it) {
+    stages.insert(stages.end(), w.phases.begin(), w.phases.end());
+  }
+
+  simnet::SimConfig sim = scale.sim;
+  sim.fidelity = simnet::SimFidelity::Cycle;
+  sim.threads = 1;
+  Timer ts;
+  const simnet::PhaseResult serial =
+      simnet::simulateIteration(scale.machine, m, stages, sim);
+  const double serialSec = ts.seconds();
+
+  sim.threads = 0;  // all hardware threads (capped by the shard count)
+  Timer tp;
+  const simnet::PhaseResult threaded =
+      simnet::simulateIteration(scale.machine, m, stages, sim);
+  const double threadedSec = tp.seconds();
+
+  std::int64_t mismatches = 0;
+  mismatches += serial.cycles != threaded.cycles;
+  mismatches += serial.networkFlits != threaded.networkFlits;
+  mismatches += serial.localFlits != threaded.localFlits;
+  mismatches += serial.flitHops != threaded.flitHops;
+  mismatches += serial.maxChannelFlits != threaded.maxChannelFlits;
+  mismatches += serial.avgChannelFlits != threaded.avgChannelFlits;
+  mismatches += serial.dimFlits != threaded.dimFlits;
+
+  sim.threads = 1;
+  sim.fidelity = simnet::SimFidelity::Flow;
+  Timer tf;
+  const simnet::PhaseResult flow =
+      simnet::simulateIteration(scale.machine, m, stages, sim);
+  const double flowSec = tf.seconds();
+  std::int64_t conservation = 0;
+  conservation += flow.networkFlits != serial.networkFlits;
+  conservation += flow.localFlits != serial.localFlits;
+  conservation += flow.flitHops != serial.flitHops;
+
+  const auto relErr = [](double est, double ref) {
+    return ref != 0 ? std::abs(est - ref) / ref : 0.0;
+  };
+
+  obs::RunRecord record;
+  record.benchmark = "CG";
+  record.mapper = "simnet";
+  record.add("comm_cycles", static_cast<double>(serial.cycles));
+  record.add("mcl", serial.maxChannelFlits);
+  record.add("determinism_mismatches", static_cast<double>(mismatches));
+  record.add("flow_cycles_rel_err",
+             relErr(static_cast<double>(flow.cycles),
+                    static_cast<double>(serial.cycles)));
+  record.add("flow_mcl_rel_err",
+             relErr(flow.maxChannelFlits, serial.maxChannelFlits));
+  record.add("flow_conservation_mismatches",
+             static_cast<double>(conservation));
+  record.add("sim_serial_seconds", serialSec);
+  record.add("sim_threaded_seconds", threadedSec);
+  record.add("sim_speedup", threadedSec > 0 ? serialSec / threadedSec : 1.0);
+  record.add("flow_seconds", flowSec);
+  record.add("flow_speedup_vs_cycle", flowSec > 0 ? serialSec / flowSec : 1.0);
+  report.records.push_back(std::move(record));
+  report.env = fingerprint(scale);
+  return report;
+}
+
 }  // namespace
 
 std::vector<std::string> knownSuites() {
-  return {"table1", "fig8",  "fig9",        "fig10",
-          "ablation_refine", "refine_micro", "obs_overhead", "smoke"};
+  return {"table1", "fig8",  "fig9",        "fig10",       "ablation_refine",
+          "refine_micro",    "obs_overhead", "simnet_micro", "smoke"};
 }
 
 obs::RunReport runSuite(const std::string& name,
@@ -313,12 +408,13 @@ obs::RunReport runSuite(const std::string& name,
   if (name == "ablation_refine") return suiteAblationRefine(scale);
   if (name == "refine_micro") return suiteRefineMicro(scale);
   if (name == "obs_overhead") return suiteObsOverhead(scale);
+  if (name == "simnet_micro") return suiteSimnetMicro(scale);
   if (name == "smoke") {
     return suiteStudy("smoke", {"CG"}, scale, /*overall=*/false);
   }
   throw ParseError("unknown suite '" + name + "' (known: table1, fig8, fig9, "
                    "fig10, ablation_refine, refine_micro, obs_overhead, "
-                   "smoke)");
+                   "simnet_micro, smoke)");
 }
 
 ExperimentScale scaleFromFingerprint(const obs::EnvFingerprint& env) {

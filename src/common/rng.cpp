@@ -42,8 +42,18 @@ std::uint64_t Rng::nextBounded(std::uint64_t bound) {
 }
 
 std::int64_t Rng::nextInt(std::int64_t lo, std::int64_t hi) {
-  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-  return lo + static_cast<std::int64_t>(nextBounded(span));
+  // The span is computed in unsigned arithmetic: hi - lo overflows the
+  // signed range whenever the interval is wider than INT64_MAX (e.g.
+  // [INT64_MIN, 0]), and unsigned wraparound is exactly the width mod 2^64.
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  if (span == ~std::uint64_t{0}) {
+    // Full-width range [INT64_MIN, INT64_MAX]: span + 1 would wrap to
+    // nextBounded(0); every 64-bit pattern is a valid draw.
+    return static_cast<std::int64_t>(next());
+  }
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   nextBounded(span + 1));
 }
 
 double Rng::nextDouble() {

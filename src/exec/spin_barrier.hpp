@@ -1,0 +1,68 @@
+#pragma once
+/// \file spin_barrier.hpp
+/// A centralized sense-reversing spin barrier for tightly-coupled parallel
+/// loops.
+///
+/// `ThreadPool::parallelFor` synchronizes once per region through a mutex +
+/// condition variable — fine for coarse fork-join phases, far too heavy for
+/// algorithms that must synchronize every iteration (the cycle-level network
+/// simulator crosses a barrier three times per simulated cycle). SpinBarrier
+/// is the complementary primitive: a fixed set of participants repeatedly
+/// calls arriveAndWait(), each call costing one atomic RMW plus a short spin
+/// (escalating to std::this_thread::yield() so oversubscribed runs do not
+/// burn a core per waiter).
+///
+/// Memory ordering: every write performed by a participant before
+/// arriveAndWait() happens-before every read performed by any participant
+/// after the matching return (release on the generation bump, acquire on the
+/// spin load and on the last arriver's RMW) — the property the simulator's
+/// shard/mailbox handoff relies on.
+///
+/// A barrier constructed with one participant degenerates to a few relaxed
+/// atomic operations, so serial and parallel runs share one code path.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace rahtm::exec {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int participants)
+      : remaining_(participants), participants_(participants) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  int participants() const { return participants_; }
+
+  void arriveAndWait() {
+    // The generation must be read before announcing arrival: once the last
+    // participant bumps it, a stale read would spin on the wrong value.
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arriver: re-arm the count for the next phase, then open the
+      // barrier. The release on the bump publishes every participant's
+      // pre-barrier writes (their acq_rel arrivals chain into this RMW).
+      remaining_.store(participants_, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+      return;
+    }
+    int spins = 0;
+    while (generation_.load(std::memory_order_acquire) == gen) {
+      if (++spins > kSpinLimit) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+ private:
+  static constexpr int kSpinLimit = 4096;
+  std::atomic<int> remaining_;
+  std::atomic<std::uint64_t> generation_{0};
+  const int participants_;
+};
+
+}  // namespace rahtm::exec

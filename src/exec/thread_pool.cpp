@@ -51,6 +51,8 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+bool ThreadPool::inParallelRegion() { return tlInParallelRegion; }
+
 int ThreadPool::resolveThreads(int requested) {
   if (requested == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -160,6 +162,40 @@ void ThreadPool::parallelFor(std::size_t n,
     }
   }
   if (job.error) std::rethrow_exception(job.error);
+}
+
+bool ThreadPool::tryGang(std::size_t n,
+                         const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return true;
+  if (tlInParallelRegion || n > static_cast<std::size_t>(threadCount_)) {
+    return false;
+  }
+  if (n == 1) {
+    // A one-thread gang needs no workers — run it here (still outside any
+    // region, so the task may itself use parallelFor).
+    fn(0);
+    return true;
+  }
+  Job job;
+  job.fn = &fn;
+  job.n = n;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (job_ != nullptr || stop_) return false;
+    job_ = &job;
+  }
+  wake_.notify_all();
+  runTasks(job);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_.wait(lk, [&job] {
+      return job.finished.load(std::memory_order_acquire) == job.n &&
+             job.active == 0;
+    });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+  return true;
 }
 
 int threadsFromEnv() {

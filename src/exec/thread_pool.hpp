@@ -58,9 +58,27 @@ class ThreadPool {
   /// task, or while another thread drives a region — run inline.
   void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Gang-schedule fn(0) .. fn(n-1) on n *distinct* threads, or refuse.
+  /// parallelFor degrades to inline serial execution whenever true
+  /// concurrency is unavailable (busy pool, nested call) — correct for
+  /// independent tasks, fatal for tasks that synchronize with each other
+  /// through a barrier (the inline gang would deadlock on itself). tryGang
+  /// returns false *without running anything* in those situations; callers
+  /// fall back to a one-participant gang. Requires n <= numThreads(); a
+  /// thread blocked inside its task cannot be handed a second one, so a
+  /// true return guarantees n distinct threads participated.
+  bool tryGang(std::size_t n, const std::function<void(std::size_t)>& fn);
+
   /// Resolve a configured thread count: 0 -> hardware concurrency,
   /// anything else clamped to >= 1.
   static int resolveThreads(int requested);
+
+  /// True while the calling thread is executing tasks of some pool's
+  /// parallel region. Algorithms that gang-schedule workers (e.g. the
+  /// simulator's per-cycle barrier loop) must check this and fall back to a
+  /// single participant — a nested parallelFor runs its tasks inline on one
+  /// thread, which would deadlock a multi-participant barrier.
+  static bool inParallelRegion();
 
  private:
   struct Job;

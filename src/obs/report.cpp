@@ -259,6 +259,20 @@ ThresholdMap defaultThresholds() {
       {"overhead_ratio", 0.02},
       {"forensics_on_seconds", inf},
       {"forensics_off_seconds", inf},
+      // Simulator gate (bench/suites.cpp simnet_micro). The mismatch
+      // counters have committed baselines of 0, so any nonzero value is an
+      // unbounded relative regression — exactly the intended hard failure.
+      // The flow-mode error ratios are deterministic at a fixed scale;
+      // the 10% headroom only absorbs intentional estimator retuning.
+      {"determinism_mismatches", 0.0},
+      {"flow_conservation_mismatches", 0.0},
+      {"flow_cycles_rel_err", 0.10},
+      {"flow_mcl_rel_err", 0.10},
+      {"sim_serial_seconds", inf},
+      {"sim_threaded_seconds", inf},
+      {"sim_speedup", inf},
+      {"flow_seconds", inf},
+      {"flow_speedup_vs_cycle", inf},
   };
 }
 

@@ -1,18 +1,26 @@
 #include "simnet/simulator.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "exec/spin_barrier.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/heartbeat.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "routing/delta_eval.hpp"
 
 namespace rahtm::simnet {
 
@@ -46,13 +54,75 @@ struct MessageState {
   bool local;
 };
 
+/// A packet that completed its current queue and needs a routing decision
+/// at node `at` (Injection/Link handoff). Produced by the drain phase,
+/// consumed by the destination shard's route phase.
+struct Handoff {
+  Packet pkt;
+  NodeId at;
+};
+
+/// A message's flits arriving at their destination this cycle. Produced by
+/// the drain phase, consumed serially so rank advancement stays in one
+/// deterministic global order.
+struct Delivery {
+  std::int32_t msgId;
+  std::int32_t flits;
+};
+
+/// Per-shard mutable state, cache-line separated so neighbouring shards
+/// driven by different workers do not false-share.
+struct alignas(64) Shard {
+  std::vector<std::ptrdiff_t> active;  ///< queue indices with packets waiting
+  std::vector<Delivery> deliveries;    ///< this cycle's arrivals, drain order
+  Rng rng{0};                          ///< pre-split adaptive tie-break stream
+  std::int64_t networkFlits = 0;
+  std::int64_t localFlits = 0;
+  std::int64_t flitHops = 0;
+};
+
+/// One (src shard -> dst shard) mailbox, padded like Shard: during the
+/// route phase adjacent boxes are drained by different workers.
+struct alignas(64) Mailbox {
+  std::vector<Handoff> box;
+};
+
 /// Multi-stage network simulation with per-rank stage dependencies.
 /// A single stage degenerates to barrier semantics (simulatePhase).
+///
+/// Parallel cycle stepping (DESIGN.md §12): the queue array is sharded by a
+/// contiguous node partition whose shard count depends only on the topology
+/// — never on the thread count — and every simulated cycle runs as three
+/// phases separated by spin barriers:
+///
+///   A. drain   (parallel, shard-local): each shard transmits from its own
+///      queues. Completed packets become Handoffs in per-(src,dst)-shard
+///      mailboxes or Deliveries in the shard's arrival list; no queue
+///      outside the shard is read or written.
+///   B. route   (parallel, shard-local): each shard consumes its incoming
+///      mailboxes in source-shard index order, making routing decisions
+///      (which read only this shard's queue occupancies and consume only
+///      this shard's pre-split RNG stream) and enqueueing locally.
+///   C. deliver (serial): arrivals are applied in shard index order — rank
+///      stage advancement and the resulting injections happen in one global
+///      deterministic order.
+///
+/// Work only moves across shards through the index-order-merged mailboxes
+/// and the serial delivery phase, so the PhaseResult is bit-identical for
+/// every worker count, including 1 (where the barriers degenerate to a few
+/// uncontended atomic operations).
+///
+/// Deliberate semantic refinement over the old single-pass loop: adaptive
+/// routing decisions for packets handed off in cycle t observe queue
+/// occupancies after cycle t's drain (phase B follows phase A) instead of a
+/// processing-order-dependent mid-drain snapshot, and a message's packets
+/// released at phase start are interleaved round-robin with co-located
+/// ranks' packets at the shared NIC (see loadStages).
 class IterationSim {
  public:
   IterationSim(const Torus& topo, const Mapping& mapping,
                const SimConfig& config)
-      : topo_(topo), mapping_(mapping), cfg_(config), rng_(config.seed) {
+      : topo_(topo), mapping_(mapping), cfg_(config) {
     RAHTM_REQUIRE(cfg_.bytesPerFlit > 0 && cfg_.packetFlits > 0 &&
                       cfg_.localBandwidth > 0 && cfg_.injectionBandwidth > 0,
                   "SimConfig: parameters must be positive");
@@ -78,8 +148,35 @@ class IterationSim {
     }
     slots_ = slots;
     nodes_ = nodes;
-    // Telemetry hooks are resolved once here: sampling inside step() must
-    // not pay the registry lookup per cycle.
+
+    // Shard layout: a balanced contiguous node partition. The shard count
+    // is a pure function of the topology — thread counts only decide how
+    // shards are distributed over workers, never where state lives or in
+    // which order it merges.
+    shardCount_ = static_cast<int>(std::min<std::size_t>(kMaxShards, nodes));
+    shardCount_ = std::max(shardCount_, 1);
+    shardOfNode_.resize(nodes);
+    for (std::size_t n = 0; n < nodes; ++n) {
+      shardOfNode_[n] = static_cast<std::int32_t>(
+          n * static_cast<std::size_t>(shardCount_) / nodes);
+    }
+    shardOfQueue_.resize(queues_.size());
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+      const std::size_t owner =
+          i < slots_ ? i / (topo_.ndims() * 2)
+                     : (i < slots_ + nodes_ ? i - slots_ : i - slots_ - nodes_);
+      shardOfQueue_[i] = shardOfNode_[owner];
+    }
+    shards_.resize(static_cast<std::size_t>(shardCount_));
+    mail_.resize(static_cast<std::size_t>(shardCount_) *
+                 static_cast<std::size_t>(shardCount_));
+    // Pre-split one RNG stream per shard: shard s's draws are consumed only
+    // by routing decisions made at shard s's nodes, in mailbox merge order.
+    Rng root(cfg_.seed);
+    for (Shard& s : shards_) s.rng = root.split();
+
+    // Telemetry hooks are resolved once here: sampling inside the cycle
+    // loop must not pay the registry lookup per cycle.
     if (obs::MetricsRegistry* reg = obs::metrics()) {
       hQueue_ = &reg->histogram("simnet.link_queue_flits",
                                 obs::expBuckets(1, 2, 16));
@@ -98,45 +195,58 @@ class IterationSim {
       cfg_.linkCapture->samples.clear();
       cfg_.linkCapture->sampleCycles = cfg_.statSampleCycles;
     }
-    PhaseResult result;
-    std::int64_t cycle = 0;
-    const bool sampling =
-        (hQueue_ != nullptr || cfg_.linkCapture != nullptr) &&
-        cfg_.statSampleCycles > 0;
-    obs::Heartbeats& hb = obs::Heartbeats::instance();
-    obs::FlightRecorder& fr = obs::FlightRecorder::instance();
-    const auto liveness = [&](std::int64_t c) {
-      // Batched: one striped fetch_add per 64 cycles, a ring event per 4096.
-      if ((c & 63) == 0) {
-        hb.beat(obs::Pulse::SimnetCycles, 64);
-        if ((c & 4095) == 0) {
-          fr.record(obs::FrEvent::SimnetEpoch, c, remaining_);
-        }
-      }
-    };
-    if (sampling) {
-      while (remaining_ > 0) {
-        RAHTM_REQUIRE(cycle < cfg_.maxCycles,
-                      "simulate: cycle guard exceeded (livelock?)");
-        if (cycle % cfg_.statSampleCycles == 0) sampleQueueOccupancy(cycle);
-        liveness(cycle);
-        step(cycle);
-        ++cycle;
-      }
+    sampling_ = (hQueue_ != nullptr || cfg_.linkCapture != nullptr) &&
+                cfg_.statSampleCycles > 0;
+
+    // Worker count: bounded by the shard count, and forced to 1 when we are
+    // already inside a pool region (a nested parallelFor runs inline on one
+    // thread, which would deadlock the barrier).
+    int requested = cfg_.pool != nullptr
+                        ? cfg_.pool->numThreads()
+                        : exec::ThreadPool::resolveThreads(cfg_.threads);
+    if (exec::ThreadPool::inParallelRegion()) requested = 1;
+    workers_ = std::max(1, std::min(requested, shardCount_));
+    barrier_.emplace(workers_);
+
+    cycle_ = 0;
+    done_ = false;
+    if (remaining_ <= 0) {
+      done_ = true;
     } else {
-      // Telemetry off: keep the hot loop free of sampling branches.
-      while (remaining_ > 0) {
-        RAHTM_REQUIRE(cycle < cfg_.maxCycles,
-                      "simulate: cycle guard exceeded (livelock?)");
-        liveness(cycle);
-        step(cycle);
-        ++cycle;
-      }
+      if (sampling_) sampleQueueOccupancy(0);
+      liveness(0);
     }
-    result.cycles = cycle;
-    result.networkFlits = networkFlits_;
-    result.localFlits = localFlits_;
-    result.flitHops = flitHops_;
+    const auto body = [this](std::size_t w) { workerBody(static_cast<int>(w)); };
+    if (workers_ > 1 && cfg_.pool != nullptr) {
+      if (!cfg_.pool->tryGang(static_cast<std::size_t>(workers_), body)) {
+        // The shared pool cannot supply a true gang right now (another
+        // region in flight). Degrade to one participant — same result,
+        // since work partition and merge order never depend on workers_.
+        workers_ = 1;
+        barrier_.emplace(1);
+        workerBody(0);
+      }
+    } else if (workers_ > 1) {
+      exec::ThreadPool own(workers_);
+      own.parallelFor(static_cast<std::size_t>(workers_), body);
+    } else {
+      workerBody(0);
+    }
+    span.attr("sim_workers", static_cast<std::int64_t>(workers_));
+    if (error_) std::rethrow_exception(error_);
+
+    PhaseResult result;
+    result.cycles = cycle_;
+    for (const Shard& s : shards_) {
+      result.networkFlits += s.networkFlits;
+      result.localFlits += s.localFlits;
+      result.flitHops += s.flitHops;
+    }
+    // Closing occupancy sample: the loop samples only on statSampleCycles
+    // boundaries, which misses the endgame drain (and leaves sub-period
+    // runs with just the cycle-0 point). One final observation at the
+    // makespan closes the series before stats are finalized.
+    if (sampling_) sampleQueueOccupancy(cycle_);
     double maxCh = 0;
     double sumCh = 0;
     std::int64_t validCh = 0;
@@ -181,6 +291,16 @@ class IterationSim {
   }
 
  private:
+  static constexpr std::size_t kMaxShards = 16;
+
+  /// A packet staged during the phase-0 release, before the per-queue
+  /// round-robin merge (see loadStages).
+  struct StagedPacket {
+    std::ptrdiff_t queue;  ///< target queue index
+    std::int32_t seq;      ///< position within its rank's train for `queue`
+    Packet pkt;
+  };
+
   void loadStages(const std::vector<Phase>& stages) {
     const auto ranks = static_cast<std::size_t>(mapping_.numRanks());
     numStages_ = static_cast<std::int32_t>(stages.size());
@@ -218,10 +338,26 @@ class IterationSim {
       }
     }
 
-    // Release stage 0 for every rank (cascades past empty stages).
-    // Interleave co-located ranks' initial packets round-robin so they
-    // share the NIC fairly.
-    for (std::size_t r = 0; r < ranks; ++r) advanceRank(static_cast<RankId>(r), -1);
+    // Release stage 0 for every rank (cascades past empty stages). The
+    // packets are first staged per rank, then co-located ranks' trains are
+    // merged round-robin per shared queue — packet k of every rank before
+    // packet k+1 of any — so ranks sharing a node share the NIC fairly
+    // instead of rank r's entire train queueing ahead of rank r+1's.
+    loading_ = true;
+    staged_.clear();
+    for (std::size_t r = 0; r < ranks; ++r) {
+      stagedSeqInj_ = 0;
+      stagedSeqLoc_ = 0;
+      advanceRank(static_cast<RankId>(r), -1);
+    }
+    loading_ = false;
+    std::stable_sort(staged_.begin(), staged_.end(),
+                     [](const StagedPacket& a, const StagedPacket& b) {
+                       if (a.queue != b.queue) return a.queue < b.queue;
+                       return a.seq < b.seq;
+                     });
+    for (const StagedPacket& sp : staged_) enqueue(sp.queue, sp.pkt, -1);
+    staged_.clear();
   }
 
   /// Inject every stage-\p s message of \p rank.
@@ -230,14 +366,22 @@ class IterationSim {
     for (const std::int32_t id : sentBy_[static_cast<std::size_t>(rank)]) {
       const MessageState& m = messages_[static_cast<std::size_t>(id)];
       if (m.stage != s) continue;
-      Queue& q = m.local ? queues_[slots_ + nodes_ + static_cast<std::size_t>(node)]
-                         : queues_[slots_ + static_cast<std::size_t>(node)];
+      const std::ptrdiff_t qIdx =
+          m.local ? static_cast<std::ptrdiff_t>(slots_ + nodes_ +
+                                                static_cast<std::size_t>(node))
+                  : static_cast<std::ptrdiff_t>(slots_ +
+                                                static_cast<std::size_t>(node));
       std::int64_t flits = m.flitsLeft;
       const NodeId dstNode = mapping_.nodeOf(m.dst);
       while (flits > 0) {
         const auto p = static_cast<std::int32_t>(
             std::min<std::int64_t>(flits, cfg_.packetFlits));
-        enqueue(q, Packet{p, dstNode, 0, id}, cycle);
+        if (loading_) {
+          std::int32_t& seq = m.local ? stagedSeqLoc_ : stagedSeqInj_;
+          staged_.push_back(StagedPacket{qIdx, seq++, Packet{p, dstNode, 0, id}});
+        } else {
+          enqueue(qIdx, Packet{p, dstNode, 0, id}, cycle);
+        }
         flits -= p;
       }
     }
@@ -259,18 +403,22 @@ class IterationSim {
     }
   }
 
-  void enqueue(Queue& q, Packet pkt, std::int64_t cycle) {
+  void enqueue(std::ptrdiff_t qIdx, Packet pkt, std::int64_t cycle) {
+    Queue& q = queues_[static_cast<std::size_t>(qIdx)];
     pkt.readyCycle = cycle + 1;
     q.flitsQueued += pkt.flits;
     q.packets.push_back(pkt);
     if (!q.inActiveList) {
       q.inActiveList = true;
-      active_.push_back(&q - queues_.data());
+      shards_[static_cast<std::size_t>(
+                  shardOfQueue_[static_cast<std::size_t>(qIdx)])]
+          .active.push_back(qIdx);
     }
   }
 
-  /// Pick the output channel queue at \p at for a packet headed to \p dst.
-  std::size_t chooseOutput(NodeId at, NodeId dst) {
+  /// Pick the output channel queue at \p at for a packet headed to \p dst,
+  /// drawing tie-break randomness from \p rng (the owning shard's stream).
+  std::size_t chooseOutput(NodeId at, NodeId dst, Rng& rng) {
     const Coord ca = topo_.coordOf(at);
     const Coord cd = topo_.coordOf(dst);
 
@@ -308,7 +456,7 @@ class IterationSim {
         weight[i] = static_cast<double>(steps[i]) / share;
         weightSum += weight[i];
       }
-      double pick = rng_.nextDouble() * weightSum;
+      double pick = rng.nextDouble() * weightSum;
       for (std::size_t i = 0; i < candidates.size(); ++i) {
         pick -= weight[i];
         if (pick <= 0) return candidates[i];
@@ -330,7 +478,7 @@ class IterationSim {
         tieCount = 1;
       } else if (occ == bestOcc) {
         ++tieCount;
-        if (rng_.nextBounded(tieCount) == 0) best = idx;  // reservoir pick
+        if (rng.nextBounded(tieCount) == 0) best = idx;  // reservoir pick
       }
     }
     return best;
@@ -369,11 +517,25 @@ class IterationSim {
     if (cfg_.linkCapture != nullptr) cfg_.linkCapture->samples.push_back(sample);
   }
 
-  void step(std::int64_t cycle) {
-    // Snapshot: queues activated during this cycle start next cycle.
-    const std::size_t activeCount = active_.size();
-    for (std::size_t a = 0; a < activeCount; ++a) {
-      Queue& q = queues_[static_cast<std::size_t>(active_[a])];
+  void liveness(std::int64_t c) {
+    // Batched: one striped fetch_add per 64 cycles, a ring event per 4096.
+    if ((c & 63) == 0) {
+      obs::Heartbeats::instance().beat(obs::Pulse::SimnetCycles, 64);
+      if ((c & 4095) == 0) {
+        obs::FlightRecorder::instance().record(obs::FrEvent::SimnetEpoch, c,
+                                               remaining_);
+      }
+    }
+  }
+
+  /// Phase A: transmit from this shard's active queues. Completed packets
+  /// become mailbox handoffs or deliveries; no other shard's state is
+  /// touched, so all shards drain concurrently.
+  void drainShard(int s) {
+    Shard& shard = shards_[static_cast<std::size_t>(s)];
+    const std::int64_t cycle = cycle_;
+    for (const std::ptrdiff_t idx : shard.active) {
+      Queue& q = queues_[static_cast<std::size_t>(idx)];
       const std::int32_t bandwidth =
           q.kind == QueueKind::Local
               ? cfg_.localBandwidth
@@ -394,49 +556,144 @@ class IterationSim {
         q.headProgress = 0;
         switch (q.kind) {
           case QueueKind::Local:
-            localFlits_ += done.flits;
-            deliverFlits(done.msgId, done.flits, cycle);
+            shard.localFlits += done.flits;
+            shard.deliveries.push_back(Delivery{done.msgId, done.flits});
             break;
           case QueueKind::Injection:
           case QueueKind::Link: {
             const NodeId here =
                 q.kind == QueueKind::Injection ? q.node : q.linkDst;
             if (q.kind == QueueKind::Link) {
-              flitHops_ += done.flits;
+              shard.flitHops += done.flits;
             } else {
-              networkFlits_ += done.flits;
+              shard.networkFlits += done.flits;
             }
             if (here == done.dst) {
-              deliverFlits(done.msgId, done.flits, cycle);
+              shard.deliveries.push_back(Delivery{done.msgId, done.flits});
             } else {
-              enqueue(queues_[chooseOutput(here, done.dst)], done, cycle);
+              mail_[static_cast<std::size_t>(s) *
+                        static_cast<std::size_t>(shardCount_) +
+                    static_cast<std::size_t>(
+                        shardOfNode_[static_cast<std::size_t>(here)])]
+                  .box.push_back(Handoff{done, here});
             }
             break;
           }
         }
       }
     }
-    // Compact the active list (drop drained queues).
+    // Compact the active list (drop drained queues). Nothing enqueues into
+    // this shard during phase A, so the list is exactly what was drained.
     std::size_t w = 0;
-    for (std::size_t a = 0; a < active_.size(); ++a) {
-      Queue& q = queues_[static_cast<std::size_t>(active_[a])];
+    for (std::size_t a = 0; a < shard.active.size(); ++a) {
+      Queue& q = queues_[static_cast<std::size_t>(shard.active[a])];
       if (q.packets.empty()) {
         q.inActiveList = false;
       } else {
-        active_[w++] = active_[a];
+        shard.active[w++] = shard.active[a];
       }
     }
-    active_.resize(w);
+    shard.active.resize(w);
+  }
+
+  /// Phase B: consume this shard's incoming mailboxes in source-shard index
+  /// order, routing each packet at its arrival node. Occupancy reads, RNG
+  /// draws and enqueues all stay within this shard.
+  void routeShard(int t) {
+    Shard& shard = shards_[static_cast<std::size_t>(t)];
+    const std::int64_t cycle = cycle_;
+    for (int s = 0; s < shardCount_; ++s) {
+      auto& box = mail_[static_cast<std::size_t>(s) *
+                            static_cast<std::size_t>(shardCount_) +
+                        static_cast<std::size_t>(t)]
+                      .box;
+      for (const Handoff& h : box) {
+        const std::size_t out = chooseOutput(h.at, h.pkt.dst, shard.rng);
+        enqueue(static_cast<std::ptrdiff_t>(out), h.pkt, cycle);
+      }
+      box.clear();
+    }
+  }
+
+  /// Phase C (worker 0 only): apply arrivals in shard index order, advance
+  /// the cycle, and prepare the next cycle's bookkeeping.
+  void serialTail() {
+    if (!aborted_.load(std::memory_order_relaxed)) {
+      try {
+        for (Shard& s : shards_) {
+          for (const Delivery& d : s.deliveries) {
+            deliverFlits(d.msgId, d.flits, cycle_);
+          }
+          s.deliveries.clear();
+        }
+      } catch (...) {
+        recordError();
+      }
+    }
+    ++cycle_;
+    if (aborted_.load(std::memory_order_relaxed) || remaining_ <= 0) {
+      done_ = true;
+      return;
+    }
+    try {
+      RAHTM_REQUIRE(cycle_ < cfg_.maxCycles,
+                    "simulate: cycle guard exceeded (livelock?)");
+    } catch (...) {
+      recordError();
+      done_ = true;
+      return;
+    }
+    if (sampling_ && cycle_ % cfg_.statSampleCycles == 0) {
+      sampleQueueOccupancy(cycle_);
+    }
+    liveness(cycle_);
+  }
+
+  void recordError() {
+    std::lock_guard<std::mutex> lk(errMu_);
+    if (!error_) error_ = std::current_exception();
+    aborted_.store(true, std::memory_order_relaxed);
+  }
+
+  /// The per-worker cycle loop. Worker w owns shards {w, w+W, w+2W, ...};
+  /// `done_`/`cycle_` are written only in the serial phase and every read
+  /// is separated from that write by a barrier crossing.
+  void workerBody(int w) {
+    for (;;) {
+      barrier_->arriveAndWait();
+      if (done_) break;
+      if (!aborted_.load(std::memory_order_relaxed)) {
+        try {
+          for (int s = w; s < shardCount_; s += workers_) drainShard(s);
+        } catch (...) {
+          recordError();
+        }
+      }
+      barrier_->arriveAndWait();
+      if (!aborted_.load(std::memory_order_relaxed)) {
+        try {
+          for (int t = w; t < shardCount_; t += workers_) routeShard(t);
+        } catch (...) {
+          recordError();
+        }
+      }
+      barrier_->arriveAndWait();
+      if (w == 0) serialTail();
+    }
   }
 
   const Torus& topo_;
   const Mapping& mapping_;
   SimConfig cfg_;
-  Rng rng_;
   std::vector<Queue> queues_;
-  std::vector<std::ptrdiff_t> active_;
   std::size_t slots_ = 0;
   std::size_t nodes_ = 0;
+
+  int shardCount_ = 1;
+  std::vector<std::int32_t> shardOfNode_;
+  std::vector<std::int32_t> shardOfQueue_;
+  std::vector<Shard> shards_;
+  std::vector<Mailbox> mail_;  ///< [srcShard * shardCount_ + dstShard]
 
   std::vector<MessageState> messages_;
   std::vector<std::vector<std::int32_t>> sentBy_;
@@ -446,14 +703,182 @@ class IterationSim {
   std::int32_t numStages_ = 0;
   std::int64_t remaining_ = 0;  ///< undelivered flits
 
-  std::int64_t networkFlits_ = 0;
-  std::int64_t localFlits_ = 0;
-  std::int64_t flitHops_ = 0;
+  bool loading_ = false;  ///< stage-0 release: defer enqueues into staged_
+  std::vector<StagedPacket> staged_;
+  std::int32_t stagedSeqInj_ = 0;
+  std::int32_t stagedSeqLoc_ = 0;
+
+  // Cycle-loop state. Written by worker 0's serial phase, read by every
+  // worker strictly after a barrier crossing.
+  std::int64_t cycle_ = 0;
+  bool done_ = false;
+  bool sampling_ = false;
+  int workers_ = 1;
+  std::optional<exec::SpinBarrier> barrier_;
+  std::atomic<bool> aborted_{false};
+  std::mutex errMu_;
+  std::exception_ptr error_;
 
   // Telemetry (null when no metrics registry is installed).
   obs::Histogram* hQueue_ = nullptr;
   obs::Histogram* hChan_ = nullptr;
 };
+
+/// Flow-level analytic estimate (SimFidelity::Flow): route every message
+/// through the uniform-minimal RouteTable decomposition — the same MAR path
+/// weights the mapper optimizes against — and charge each stage the binding
+/// bottleneck instead of stepping cycles:
+///
+///   stage cycles = max( busiest channel's expected flits,
+///                       busiest NIC's injected flits / injectionBandwidth,
+///                       busiest local port's flits / localBandwidth,
+///                       longest single-message store-and-forward latency )
+///
+/// Stages are summed (barrier semantics): the per-rank pipelining the cycle
+/// sim models across stages is deliberately ignored, which biases the
+/// estimate high on multi-stage runs. Conservation quantities
+/// (networkFlits, localFlits, flitHops, dimFlits) are exact because every
+/// minimal route crosses the same per-dimension hop counts; cycles and
+/// per-channel loads are estimates gated against the cycle sim by the
+/// `simnet_micro` ledger.
+PhaseResult runFlow(const Torus& topo, const Mapping& mapping,
+                    const std::vector<Phase>& stages, const SimConfig& cfg) {
+  RAHTM_REQUIRE(cfg.bytesPerFlit > 0 && cfg.packetFlits > 0 &&
+                    cfg.localBandwidth > 0 && cfg.injectionBandwidth > 0,
+                "SimConfig: parameters must be positive");
+  obs::ScopedSpan span(obs::tracer(), "simnet.flow", "simnet");
+  obs::PhaseScope phase("simnet.flow");
+  span.attr("stages", static_cast<std::int64_t>(stages.size()));
+
+  const auto nodes = static_cast<std::size_t>(topo.numNodes());
+  const auto slots = static_cast<std::size_t>(topo.numChannelSlots());
+  RouteTable routes(topo);  // lazy: only pairs that actually communicate
+  std::vector<double> total(slots, 0.0);
+  std::vector<double> stage(slots, 0.0);
+  std::vector<ChannelId> touched;
+  std::vector<std::int64_t> inj(nodes, 0);
+  std::vector<std::int64_t> loc(nodes, 0);
+  const auto ceilDiv = [](std::int64_t a, std::int64_t b) {
+    return (a + b - 1) / b;
+  };
+
+  PhaseResult r;
+  r.dimFlits.assign(topo.ndims(), 0.0);
+  for (const Phase& ph : stages) {
+    std::fill(inj.begin(), inj.end(), 0);
+    std::fill(loc.begin(), loc.end(), 0);
+    std::int64_t maxLat = 0;
+    for (const Message& msg : ph) {
+      RAHTM_REQUIRE(msg.src >= 0 && msg.src < mapping.numRanks() &&
+                        msg.dst >= 0 && msg.dst < mapping.numRanks(),
+                    "simulate: message rank out of range");
+      RAHTM_REQUIRE(msg.bytes >= 0, "simulate: negative message size");
+      const NodeId srcNode = mapping.nodeOf(msg.src);
+      const NodeId dstNode = mapping.nodeOf(msg.dst);
+      RAHTM_REQUIRE(srcNode >= 0 && srcNode < static_cast<NodeId>(nodes) &&
+                        dstNode >= 0 && dstNode < static_cast<NodeId>(nodes),
+                    "simulate: rank mapped off-topology");
+      const std::int64_t flits = std::max<std::int64_t>(
+          1, (msg.bytes + cfg.bytesPerFlit - 1) / cfg.bytesPerFlit);
+      if (srcNode == dstNode) {
+        loc[static_cast<std::size_t>(srcNode)] += flits;
+        r.localFlits += flits;
+        maxLat = std::max(maxLat, ceilDiv(flits, cfg.localBandwidth));
+        continue;
+      }
+      inj[static_cast<std::size_t>(srcNode)] += flits;
+      r.networkFlits += flits;
+      const std::int32_t dist = topo.distance(srcNode, dstNode);
+      r.flitHops += flits * dist;
+      const RouteTable::Span route = routes.get(srcNode, dstNode);
+      for (std::size_t k = 0; k < route.size; ++k) {
+        const auto c = static_cast<std::size_t>(route.channels[k]);
+        if (stage[c] == 0.0) touched.push_back(route.channels[k]);
+        stage[c] += route.fracs[k] * static_cast<double>(flits);
+      }
+      // Store-and-forward critical path of the message alone: full
+      // serialization through the NIC, then the trailing packet crosses
+      // dist links at one flit per cycle per link.
+      maxLat = std::max(maxLat,
+                        ceilDiv(flits, cfg.injectionBandwidth) +
+                            static_cast<std::int64_t>(dist) *
+                                std::min<std::int64_t>(cfg.packetFlits, flits));
+    }
+    double chBound = 0;
+    for (const ChannelId c : touched) {
+      chBound = std::max(chBound, stage[static_cast<std::size_t>(c)]);
+    }
+    std::int64_t injBound = 0;
+    std::int64_t locBound = 0;
+    for (std::size_t n = 0; n < nodes; ++n) {
+      if (inj[n] > 0) {
+        injBound = std::max(injBound, ceilDiv(inj[n], cfg.injectionBandwidth));
+      }
+      if (loc[n] > 0) {
+        locBound = std::max(locBound, ceilDiv(loc[n], cfg.localBandwidth));
+      }
+    }
+    std::int64_t stageCycles =
+        static_cast<std::int64_t>(std::ceil(chBound));
+    stageCycles = std::max({stageCycles, injBound, locBound, maxLat});
+    r.cycles += stageCycles;
+    for (const ChannelId c : touched) {
+      total[static_cast<std::size_t>(c)] += stage[static_cast<std::size_t>(c)];
+      stage[static_cast<std::size_t>(c)] = 0.0;
+    }
+    touched.clear();
+  }
+
+  if (cfg.linkCapture != nullptr) {
+    cfg.linkCapture->channels.clear();
+    cfg.linkCapture->samples.clear();  // no time series without cycles
+    cfg.linkCapture->sampleCycles = 0;
+  }
+  double maxCh = 0;
+  double sumCh = 0;
+  std::int64_t validCh = 0;
+  for (NodeId n = 0; n < topo.numNodes(); ++n) {
+    for (std::size_t d = 0; d < topo.ndims(); ++d) {
+      for (const Dir dir : {Dir::Plus, Dir::Minus}) {
+        if (!topo.channelValid(n, d, dir)) continue;
+        const ChannelId id = topo.channelId(n, d, dir);
+        const double load = total[static_cast<std::size_t>(id)];
+        ++validCh;
+        sumCh += load;
+        maxCh = std::max(maxCh, load);
+        r.dimFlits[d] += load;
+        if (cfg.linkCapture != nullptr) {
+          ChannelLoad cl;
+          cl.src = n;
+          cl.dst = topo.channelDst(id);
+          cl.dim = static_cast<std::int32_t>(d);
+          cl.dir = dir == Dir::Plus ? 0 : 1;
+          cl.flits = static_cast<std::int64_t>(std::llround(load));
+          cfg.linkCapture->channels.push_back(cl);
+        }
+      }
+    }
+  }
+  r.maxChannelFlits = maxCh;
+  r.avgChannelFlits = validCh ? sumCh / static_cast<double>(validCh) : 0;
+  span.attr("cycles", r.cycles);
+  span.attr("max_channel_flits", r.maxChannelFlits);
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    reg->counter("simnet.flow_runs").add(1);
+    reg->counter("simnet.flow_cycles").add(r.cycles);
+    // Conservation quantities are exact in flow mode (only cycle counts
+    // are approximate), so record them under the same names the cycle
+    // engine uses — telemetry consumers need not care about fidelity.
+    reg->counter("simnet.network_flits").add(r.networkFlits);
+    reg->counter("simnet.local_flits").add(r.localFlits);
+    reg->counter("simnet.flit_hops").add(r.flitHops);
+    for (std::size_t d = 0; d < r.dimFlits.size(); ++d) {
+      reg->gauge("simnet.dim_flits." + std::to_string(d))
+          .set(r.dimFlits[d]);
+    }
+  }
+  return r;
+}
 
 }  // namespace
 
@@ -500,6 +925,9 @@ void writeLinkHeatmapJson(std::ostream& os, const Torus& topo,
 PhaseResult simulatePhase(const Torus& topo, const Mapping& mapping,
                           const Phase& phase, const SimConfig& config) {
   RAHTM_REQUIRE(mapping.complete(), "simulatePhase: incomplete mapping");
+  if (config.fidelity == SimFidelity::Flow) {
+    return runFlow(topo, mapping, {phase}, config);
+  }
   IterationSim sim(topo, mapping, config);
   return sim.run({phase});
 }
@@ -508,6 +936,9 @@ PhaseResult simulateIteration(const Torus& topo, const Mapping& mapping,
                               const std::vector<Phase>& stages,
                               const SimConfig& config) {
   RAHTM_REQUIRE(mapping.complete(), "simulateIteration: incomplete mapping");
+  if (config.fidelity == SimFidelity::Flow) {
+    return runFlow(topo, mapping, stages, config);
+  }
   IterationSim sim(topo, mapping, config);
   return sim.run(stages);
 }

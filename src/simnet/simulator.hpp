@@ -26,6 +26,10 @@
 #include "simnet/message.hpp"
 #include "topology/torus.hpp"
 
+namespace rahtm::exec {
+class ThreadPool;
+}
+
 namespace rahtm::simnet {
 
 /// Total traffic carried by one directed physical channel over a run.
@@ -74,6 +78,22 @@ enum class RoutingMode {
   DimensionOrder,
 };
 
+/// The fidelity ladder (DESIGN.md §12). `Cycle` is the packet-switched
+/// cycle-level simulation — the measurement of record. `Flow` is a
+/// flow-level analytic estimate: messages are routed through the
+/// uniform-minimal path weights (the same RouteTable decomposition the
+/// mapper optimizes against) and the makespan is estimated from the
+/// binding bottleneck (busiest channel, NIC injection, local port, or the
+/// longest store-and-forward message latency) per stage — no per-cycle
+/// stepping, so it is orders of magnitude cheaper. Conservation quantities
+/// (networkFlits, localFlits, flitHops, dimFlits) are exact under any
+/// minimal routing; cycles and per-channel loads are estimates whose error
+/// against the cycle sim is bounded by the `simnet_micro` ledger gate.
+enum class SimFidelity {
+  Cycle,
+  Flow,
+};
+
 struct SimConfig {
   std::int32_t bytesPerFlit = 32;
   std::int32_t packetFlits = 16;        ///< message segmentation unit
@@ -94,8 +114,21 @@ struct SimConfig {
   /// When non-null, the simulator fills this with the per-channel load
   /// matrix and the time-bucketed occupancy series (see LinkLoadCapture).
   /// The pointer must stay valid for the whole simulate* call; repeated
-  /// runs overwrite the capture.
+  /// runs overwrite the capture. Flow mode fills the channel matrix with
+  /// the analytic expected loads and leaves the time series empty.
   LinkLoadCapture* linkCapture = nullptr;
+  /// Which rung of the fidelity ladder to run (see SimFidelity).
+  SimFidelity fidelity = SimFidelity::Cycle;
+  /// Cycle-mode worker threads (0 = all hardware threads). The queue array
+  /// is sharded by node partition with a fixed shard count, cross-shard
+  /// packet handoffs travel through per-(src,dst)-shard mailboxes merged in
+  /// index order, and each shard owns a pre-split RNG stream — the
+  /// PhaseResult is bit-identical for every thread count, including 1.
+  int threads = 1;
+  /// Optional externally-owned pool to run cycle-mode workers on (must
+  /// outlive the simulate* call). When null and threads > 1, the simulator
+  /// spins up a private pool for the run.
+  exec::ThreadPool* pool = nullptr;
 };
 
 struct PhaseResult {

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <set>
 
 #include "common/cli.hpp"
@@ -76,6 +78,34 @@ TEST(Rng, BoundedStaysInRange) {
     EXPECT_GE(d, 0.0);
     EXPECT_LT(d, 1.0);
   }
+}
+
+TEST(Rng, NextIntHandlesWideRanges) {
+  // Intervals wider than INT64_MAX used to compute hi - lo in signed
+  // arithmetic (UB, and the full-width span wrapped to nextBounded(0)).
+  Rng rng(7);
+  constexpr auto kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+  for (int i = 0; i < 200; ++i) {
+    const auto half = rng.nextInt(kMin, 0);
+    EXPECT_LE(half, 0);
+    const auto wide = rng.nextInt(kMin + 1, kMax - 1);
+    EXPECT_GT(wide, kMin);
+    EXPECT_LT(wide, kMax);
+    rng.nextInt(kMin, kMax);  // full width: any value is valid
+  }
+  // Degenerate single-point interval.
+  EXPECT_EQ(rng.nextInt(42, 42), 42);
+  // Full-width draws hit both halves of the range.
+  bool sawNeg = false;
+  bool sawPos = false;
+  for (int i = 0; i < 200 && !(sawNeg && sawPos); ++i) {
+    const auto v = rng.nextInt(kMin, kMax);
+    sawNeg |= v < 0;
+    sawPos |= v > 0;
+  }
+  EXPECT_TRUE(sawNeg);
+  EXPECT_TRUE(sawPos);
 }
 
 TEST(Rng, BoundedIsRoughlyUniform) {

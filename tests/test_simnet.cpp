@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
 #include "common/error.hpp"
+#include "exec/thread_pool.hpp"
 #include "mapping/permutation.hpp"
 #include "simnet/simulator.hpp"
 #include "topology/torus.hpp"
@@ -164,6 +168,210 @@ TEST(Simulator, RejectsBadInput) {
   SimConfig bad = baseConfig();
   bad.packetFlits = 0;
   EXPECT_THROW(simulatePhase(t, m, {}, bad), PreconditionError);
+}
+
+// --- Deterministic parallel stepping -------------------------------------
+
+/// A multi-stage workload with network, local, and NIC-contended traffic:
+/// 2 ranks per node on a 4x4 torus, three stages (neighbour shift, on-node
+/// partner exchange, bisection-crossing shift) with varied message sizes.
+std::vector<Phase> mixedStages(RankId ranks) {
+  std::vector<Phase> stages(3);
+  for (RankId r = 0; r < ranks; ++r) {
+    stages[0].push_back({r, static_cast<RankId>((r + 5) % ranks),
+                         static_cast<std::int64_t>(r * 7 % 50 + 1)});
+    stages[1].push_back({r, static_cast<RankId>(r ^ 1), 16});
+    stages[2].push_back({r, static_cast<RankId>((r + ranks / 2) % ranks),
+                         static_cast<std::int64_t>(r % 3 * 20 + 4)});
+  }
+  return stages;
+}
+
+void expectSameResult(const PhaseResult& a, const PhaseResult& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.networkFlits, b.networkFlits);
+  EXPECT_EQ(a.localFlits, b.localFlits);
+  EXPECT_EQ(a.flitHops, b.flitHops);
+  EXPECT_EQ(a.maxChannelFlits, b.maxChannelFlits);
+  EXPECT_EQ(a.avgChannelFlits, b.avgChannelFlits);
+  ASSERT_EQ(a.dimFlits.size(), b.dimFlits.size());
+  for (std::size_t d = 0; d < a.dimFlits.size(); ++d) {
+    EXPECT_EQ(a.dimFlits[d], b.dimFlits[d]) << "dim " << d;
+  }
+}
+
+TEST(Simulator, BitIdenticalAcrossThreadCounts) {
+  // The determinism contract of the sharded engine: every RoutingMode
+  // (including the RNG-consuming adaptive and uniform modes) produces a
+  // bit-identical PhaseResult for any worker count.
+  const Torus t = Torus::torus(Shape{4, 4});
+  Mapping m(32);
+  for (RankId r = 0; r < 32; ++r) m.assign(r, r / 2, r % 2);
+  const auto stages = mixedStages(32);
+  for (const RoutingMode mode :
+       {RoutingMode::MinimalAdaptive, RoutingMode::UniformMinimal,
+        RoutingMode::DimensionOrder}) {
+    SimConfig cfg = baseConfig();
+    cfg.routing = mode;
+    cfg.threads = 1;
+    const PhaseResult serial = simulateIteration(t, m, stages, cfg);
+    EXPECT_GT(serial.cycles, 0);
+    for (const int threads : {2, 8}) {
+      cfg.threads = threads;
+      expectSameResult(serial, simulateIteration(t, m, stages, cfg));
+    }
+  }
+}
+
+TEST(Simulator, SharedPoolMatchesPrivatePool) {
+  const Torus t = Torus::torus(Shape{4, 4});
+  Mapping m(32);
+  for (RankId r = 0; r < 32; ++r) m.assign(r, r / 2, r % 2);
+  const auto stages = mixedStages(32);
+  SimConfig cfg = baseConfig();
+  cfg.threads = 4;
+  const PhaseResult own = simulateIteration(t, m, stages, cfg);
+  exec::ThreadPool pool(4);
+  cfg.pool = &pool;
+  expectSameResult(own, simulateIteration(t, m, stages, cfg));
+  // Reentrancy: simulating from inside a pool task must degrade to one
+  // participant (not deadlock) and still produce the identical result.
+  PhaseResult nested;
+  pool.parallelFor(1, [&](std::size_t) {
+    nested = simulateIteration(t, m, stages, cfg);
+  });
+  expectSameResult(own, nested);
+}
+
+// --- NIC fairness ---------------------------------------------------------
+
+TEST(Simulator, ColocatedRanksShareNicRoundRobin) {
+  // Ranks 0 and 1 share node 0 of a 4-node mesh; rank 2 sits at the far
+  // end. Stage 0: rank 0 injects a 32-flit train, rank 1 a single 4-flit
+  // packet, both to rank 2. Stage 1: rank 1 sends 4 more flits, gated on
+  // its stage-0 completion. With the documented round-robin release the
+  // NIC order is A0 B0 A1..A7, so rank 1's packet leaves the NIC at cycle
+  // 8 and lands (3 hops of 4 cycles) at cycle 19; its stage-1 packet then
+  // waits out the train (NIC busy through 35), crosses at 36-39, and lands
+  // at 51 — makespan 52. Under the old rank-serialized release B0 exits
+  // the NIC only after the whole train (cycles 32-35), pushing the
+  // makespan to 64.
+  const Torus t = Torus::mesh(Shape{4});
+  Mapping m(3);
+  m.assign(0, 0, 0);
+  m.assign(1, 0, 1);
+  m.assign(2, 3, 0);
+  SimConfig cfg = baseConfig();
+  cfg.routing = RoutingMode::DimensionOrder;
+  const std::vector<Phase> stages{{{0, 2, 32}, {1, 2, 4}}, {{1, 2, 4}}};
+  const PhaseResult r = simulateIteration(t, m, stages, cfg);
+  EXPECT_EQ(r.networkFlits, 40);
+  EXPECT_EQ(r.flitHops, 120);
+  EXPECT_EQ(r.cycles, 52);
+}
+
+// --- Telemetry ------------------------------------------------------------
+
+TEST(Simulator, OccupancySeriesGetsClosingSample) {
+  const Torus t = Torus::mesh(Shape{4});
+  const Mapping m = oneRankPerNode(t);
+  const Phase phase{{0, 3, 40}};
+  simnet::LinkLoadCapture capture;
+  SimConfig cfg = baseConfig();
+  cfg.linkCapture = &capture;
+  // Period far longer than the run: without the closing sample the series
+  // would be the single cycle-0 point and the drain would be invisible.
+  cfg.statSampleCycles = 1 << 20;
+  const PhaseResult r = simulatePhase(t, m, phase, cfg);
+  ASSERT_EQ(capture.samples.size(), 2u);
+  EXPECT_EQ(capture.samples.front().cycle, 0);
+  EXPECT_EQ(capture.samples.back().cycle, r.cycles);
+  EXPECT_EQ(capture.samples.back().queuedFlits, 0);  // fully drained
+  EXPECT_EQ(capture.samples.back().activeLinks, 0);
+
+  // Short period: the closing sample still lands exactly at the makespan.
+  cfg.statSampleCycles = 8;
+  const PhaseResult r2 = simulatePhase(t, m, phase, cfg);
+  ASSERT_GE(capture.samples.size(), 2u);
+  EXPECT_EQ(capture.samples.back().cycle, r2.cycles);
+  EXPECT_EQ(capture.samples.back().queuedFlits, 0);
+}
+
+// --- Flow-level fidelity --------------------------------------------------
+
+TEST(Simulator, FlowModeConservesTrafficExactly) {
+  // Every minimal route crosses the same per-dimension hop counts, so the
+  // conservation quantities must match the cycle sim bit for bit (dimFlits
+  // up to float summation order) under ANY routing mode.
+  const Torus t = Torus::torus(Shape{4, 4});
+  Mapping m(32);
+  for (RankId r = 0; r < 32; ++r) m.assign(r, r / 2, r % 2);
+  const auto stages = mixedStages(32);
+  for (const RoutingMode mode :
+       {RoutingMode::MinimalAdaptive, RoutingMode::UniformMinimal,
+        RoutingMode::DimensionOrder}) {
+    SimConfig cfg = baseConfig();
+    cfg.routing = mode;
+    const PhaseResult cyc = simulateIteration(t, m, stages, cfg);
+    cfg.fidelity = simnet::SimFidelity::Flow;
+    const PhaseResult flow = simulateIteration(t, m, stages, cfg);
+    EXPECT_EQ(flow.networkFlits, cyc.networkFlits);
+    EXPECT_EQ(flow.localFlits, cyc.localFlits);
+    EXPECT_EQ(flow.flitHops, cyc.flitHops);
+    ASSERT_EQ(flow.dimFlits.size(), cyc.dimFlits.size());
+    for (std::size_t d = 0; d < flow.dimFlits.size(); ++d) {
+      EXPECT_NEAR(flow.dimFlits[d], cyc.dimFlits[d], 1e-6) << "dim " << d;
+    }
+  }
+}
+
+TEST(Simulator, FlowCyclesTrackCycleSim) {
+  // The makespan estimate is not exact, but on uniform-minimal traffic it
+  // must stay within a small factor of the measured cycle count — the same
+  // property the simnet_micro ledger gate enforces on the committed
+  // workload, checked here on a spread of shapes and patterns.
+  for (const Shape& shape : {Shape{4, 4}, Shape{8}, Shape{2, 2, 2}}) {
+    const Torus t = Torus::torus(shape);
+    const Mapping m = oneRankPerNode(t);
+    const RankId n = m.numRanks();
+    Phase shift;
+    Phase transpose;
+    for (RankId r = 0; r < n; ++r) {
+      shift.push_back({r, static_cast<RankId>((r + 1) % n), 64});
+      transpose.push_back({r, static_cast<RankId>(n - 1 - r), 32});
+    }
+    for (const Phase& phase : {shift, transpose}) {
+      SimConfig cfg = baseConfig();
+      cfg.routing = RoutingMode::UniformMinimal;
+      const PhaseResult cyc = simulatePhase(t, m, phase, cfg);
+      cfg.fidelity = simnet::SimFidelity::Flow;
+      const PhaseResult flow = simulatePhase(t, m, phase, cfg);
+      ASSERT_GT(cyc.cycles, 0);
+      const double ratio =
+          static_cast<double>(flow.cycles) / static_cast<double>(cyc.cycles);
+      EXPECT_GT(ratio, 0.3) << t.describe();
+      EXPECT_LT(ratio, 3.0) << t.describe();
+      // MCL estimate: expected load of the busiest channel can undershoot
+      // the adaptive-free measured maximum, but not wildly.
+      EXPECT_GT(flow.maxChannelFlits, 0.25 * cyc.maxChannelFlits);
+    }
+  }
+}
+
+TEST(Simulator, FlowModeFillsChannelMatrixOnly) {
+  const Torus t = Torus::mesh(Shape{4});
+  const Mapping m = oneRankPerNode(t);
+  simnet::LinkLoadCapture capture;
+  SimConfig cfg = baseConfig();
+  cfg.linkCapture = &capture;
+  cfg.fidelity = simnet::SimFidelity::Flow;
+  const PhaseResult r = simulatePhase(t, m, {{0, 3, 40}}, cfg);
+  EXPECT_GT(r.cycles, 0);
+  EXPECT_FALSE(capture.channels.empty());
+  EXPECT_TRUE(capture.samples.empty());  // no time axis without cycles
+  std::int64_t heat = 0;
+  for (const auto& c : capture.channels) heat += c.flits;
+  EXPECT_EQ(heat, r.flitHops);  // expected loads sum to total traversals
 }
 
 TEST(Simulator, MappingQualityAffectsMakespan) {

@@ -29,7 +29,9 @@ run_config sanitize "" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRAHTM_SANITIZE=address,undefined
 # TSan pass: only the suites that exercise the thread pool and the
 # parallel pipeline paths (the serial suites add nothing under TSan).
-run_config tsan 'test_exec|test_subproblem|test_rahtm|test_flight_recorder' \
+# test_simnet covers the sharded parallel simulator (spin-barrier cycle
+# loop, mailbox handoffs, gang scheduling on a shared pool).
+run_config tsan 'test_exec|test_subproblem|test_rahtm|test_flight_recorder|test_simnet' \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRAHTM_SANITIZE=thread
 
 # Benchmark-regression gate: emit the smoke ledger at the small scale,
@@ -84,4 +86,15 @@ RAHTM_NODES=32 RAHTM_CONC=2 RAHTM_SIM_ITERS=1 \
 "$bench_bin" --validate "$bench_out/BENCH_obs_overhead.json"
 "$bench_bin" --baseline "$repo/bench/baseline/BENCH_obs_overhead.json" --check
 
-echo "==== CI passed (release + sanitize + tsan + bench-smoke + refine-micro + forensics)"
+# Simulator gate: the threaded cycle sim must reproduce the serial results
+# bit for bit (determinism_mismatches, baseline 0 → any mismatch fails),
+# and the flow-level analytic mode must stay within its committed relative
+# error on cycles/MCL (flow_*_rel_err). Wall-clock/speedup columns are
+# recorded for trend-watching only — they depend on the host's core count.
+echo "==== [simnet-micro] determinism + fidelity gate"
+RAHTM_NODES=32 RAHTM_CONC=2 RAHTM_SIM_ITERS=1 \
+  "$bench_bin" --suites simnet_micro --out "$bench_out"
+"$bench_bin" --validate "$bench_out/BENCH_simnet_micro.json"
+"$bench_bin" --baseline "$repo/bench/baseline/BENCH_simnet_micro.json" --check
+
+echo "==== CI passed (release + sanitize + tsan + bench-smoke + refine-micro + forensics + simnet-micro)"

@@ -39,11 +39,12 @@ int usage(const char* argv0) {
       << "       " << argv0 << " --baseline FILE --check [--candidate FILE]\n"
       << "                  [--thresholds metric=rel,...] [--out DIR]\n"
       << "       " << argv0 << " --validate FILE\n"
+      << "       [--sim-threads N] [--sim-fidelity cycle|flow]\n"
       << "       [--trace-out FILE] [--trace-summary FILE] "
          "[--metrics-out FILE] [--postmortem-dir DIR] [--verbose]\n"
       << "\n"
       << "suites: table1, fig8, fig9, fig10, ablation_refine, refine_micro, "
-         "obs_overhead, smoke\n"
+         "obs_overhead, simnet_micro, smoke\n"
       << "\n"
       << "Each suite writes BENCH_<suite>.json: a versioned ledger of the\n"
       << "suite's measured metrics (MCL, hop-bytes, simulated cycles,\n"
@@ -165,7 +166,24 @@ int main(int argc, char** argv) {
     }
 
     if (!args.has("suites")) return usage(argv[0]);
-    const bench::ExperimentScale scale = bench::ExperimentScale::fromEnv();
+    bench::ExperimentScale scale = bench::ExperimentScale::fromEnv();
+    // CLI overrides for the simulator knobs (fall back to RAHTM_SIM_THREADS
+    // / RAHTM_SIM_FIDELITY, applied in fromEnv). Thread count never changes
+    // results; fidelity does, and the fingerprint-scale re-run of --check
+    // deliberately ignores both env and flag for it.
+    if (args.has("sim-threads")) {
+      scale.sim.threads = static_cast<int>(args.getInt("sim-threads", 1));
+    }
+    if (args.has("sim-fidelity")) {
+      const std::string fidelity = args.getString("sim-fidelity", "cycle");
+      if (fidelity == "flow") {
+        scale.sim.fidelity = simnet::SimFidelity::Flow;
+      } else if (fidelity != "cycle") {
+        throw ParseError("--sim-fidelity must be 'cycle' or 'flow'");
+      } else {
+        scale.sim.fidelity = simnet::SimFidelity::Cycle;
+      }
+    }
     for (const std::string& suite :
          split(args.getString("suites", ""), ',')) {
       std::cerr << "[rahtm_bench] running suite '" << suite << "' ("

@@ -61,6 +61,7 @@ int usage(const char* argv0) {
       << "          [--threads N] [--trace-out FILE] [--trace-summary FILE] "
          "[--metrics-out FILE]\n"
       << "          [--link-heatmap FILE] [--postmortem-dir DIR]\n"
+      << "          [--sim-threads N] [--sim-fidelity cycle|flow]\n"
       << "          [--watchdog-sec S] [--watchdog-phases name=S,...]\n"
       << "          [--watchdog-action log|dump|abort] [--no-watchdog]\n"
       << "\n"
@@ -81,6 +82,12 @@ int usage(const char* argv0) {
       << "telemetry off) and writes the per-channel flit-load matrix plus a\n"
       << "time-bucketed queue-occupancy series as JSON, for plotting where\n"
       << "the mapping actually puts traffic.\n"
+      << "\n"
+      << "--sim-threads N parallelizes the cycle-level simulator (0 = all\n"
+      << "hardware threads; results are bit-identical for every thread\n"
+      << "count). --sim-fidelity flow swaps the cycle sim for the flow-level\n"
+      << "analytic estimate (fast screening; cycles/MCL are estimates, the\n"
+      << "occupancy time series is empty).\n"
       << "\n"
       << "Forensics (always on): a crash, std::terminate, or a phase that\n"
       << "stalls past its watchdog deadline leaves a rahtm.postmortem/v1\n"
@@ -286,11 +293,20 @@ int main(int argc, char** argv) {
     if (simulate) {
       simnet::SimConfig sim;
       sim.injectionBandwidth = 8;
+      sim.threads = static_cast<int>(args.getInt("sim-threads", 1));
+      const std::string fidelity = args.getString("sim-fidelity", "cycle");
+      if (fidelity == "flow") {
+        sim.fidelity = simnet::SimFidelity::Flow;
+      } else if (fidelity != "cycle") {
+        std::cerr << "--sim-fidelity must be 'cycle' or 'flow'\n";
+        return usage(argv[0]);
+      }
       if (!heatmapPath.empty()) sim.linkCapture = &capture;
       const simnet::PhaseResult r =
           simnet::simulateIteration(machine, mapping, simStages, sim);
-      std::cerr << "  simulated iteration: " << r.cycles << " cycles, max "
-                << r.maxChannelFlits << " flits on the busiest link\n";
+      std::cerr << "  simulated iteration (" << fidelity << "): " << r.cycles
+                << " cycles, max " << r.maxChannelFlits
+                << " flits on the busiest link\n";
       if (!heatmapPath.empty()) {
         std::ofstream heat(heatmapPath);
         if (!heat) {
