@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -13,6 +14,8 @@
 #include "mapping/permutation.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/heartbeat.hpp"
+#include "obs/mem.hpp"
+#include "obs/process.hpp"
 #include "profile/profile.hpp"
 #include "routing/oblivious.hpp"
 
@@ -388,15 +391,105 @@ obs::RunReport suiteSimnetMicro(const ExperimentScale& scale) {
   return report;
 }
 
-}  // namespace
+/// Gate for the memory-accounting layer (obs/mem.hpp), two halves:
+///  * Footprint: one full RAHTM pipeline run plus one cycle simulation at a
+///    fixed micro scale (16 CG ranks on a 2^4 cube), so every heavy owner
+///    builds its structures; the per-account peaks are pure functions of
+///    the workload (capacity-based accounting, no timing in them) and gate
+///    at 5%. `rss_coverage` rides along ungated — it depends on what else
+///    the process touched — but is the number the ISSUE's >=80% acceptance
+///    check reads at smoke scale.
+///  * Overhead: interleaved tracking-on/off anneal rounds (the obs_overhead
+///    pattern), minimum of back-to-back pair ratios; `mem_overhead_ratio`
+///    carries the <=2% gate.
+obs::RunReport suiteMemMicro(const ExperimentScale& scale) {
+  obs::RunReport report;
+  report.suite = "mem_micro";
+  obs::MemRegistry& mem = obs::MemRegistry::instance();
 
-std::vector<std::string> knownSuites() {
-  return {"table1", "fig8",  "fig9",        "fig10",       "ablation_refine",
-          "refine_micro",    "obs_overhead", "simnet_micro", "smoke"};
+  const Torus cube = Torus::torus({2, 2, 2, 2});
+  const Workload w = makeNasByName("CG", 16, scale.params);
+  RahtmMapper mapper;
+  const Mapping m = mapper.mapWorkload(w, cube, 1);
+  const auto cycles = static_cast<double>(commCyclesPerIteration(
+      w, cube, m, scale.sim, IterationModel::RankPipelined, 1));
+
+  const CommGraph g = w.commGraph();
+  SubproblemConfig cfg;
+  const bool memWas = mem.enabled();
+  const auto timedRun = [&](bool trackOn) {
+    mem.setEnabled(trackOn);
+    Timer t;
+    const SubproblemSolution s = annealSearch(g, cube, cfg);
+    const double seconds = t.seconds();
+    RAHTM_REQUIRE(s.iterations > 0, "mem_micro: empty anneal run");
+    return seconds;
+  };
+  // Warm-up, then interleave so frequency drift hits both sides equally.
+  // Each anneal's tracked structures are built and torn down inside one
+  // round, so toggling between rounds never skews the counters. The ratio
+  // gates at 2% absolute, which is below the multi-second frequency drift
+  // on shared runners, so each on/off pair is timed back to back (drift
+  // cancels within the pair) and the gated ratio is the MINIMUM over the
+  // pair ratios: a systematic tracking cost shifts every pair, including
+  // the best one, while symmetric host noise cannot hold all nine pairs
+  // above the true ratio — the same best-case reasoning as obs_overhead's
+  // min/min estimator. Medians of the raw times ride along ungated.
+  timedRun(true);
+  constexpr int kRounds = 9;
+  std::vector<double> onTimes, offTimes, ratios;
+  for (int r = 0; r < kRounds; ++r) {
+    // Alternate which side of the pair runs first so cache/branch state
+    // left by the previous round biases neither side systematically.
+    double on, off;
+    if (r % 2 == 0) {
+      on = timedRun(true);
+      off = timedRun(false);
+    } else {
+      off = timedRun(false);
+      on = timedRun(true);
+    }
+    onTimes.push_back(on);
+    offTimes.push_back(off);
+    if (off > 0) ratios.push_back(on / off);
+  }
+  const auto median = [](std::vector<double> v) {
+    RAHTM_REQUIRE(!v.empty(), "mem_micro: no timing samples");
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double onSec = median(onTimes);
+  const double offSec = median(offTimes);
+  mem.setEnabled(memWas);
+  mem.sampleRss();
+
+  constexpr double kMb = 1024.0 * 1024.0;
+  obs::RunRecord record;
+  record.benchmark = "CG16";
+  record.mapper = "rahtm";
+  record.add("comm_cycles", cycles);
+  for (const obs::MemAccountId id :
+       {obs::MemAccountId::RouteTable, obs::MemAccountId::FlowIncidence,
+        obs::MemAccountId::Simnet, obs::MemAccountId::Lp,
+        obs::MemAccountId::Mapper, obs::MemAccountId::Obs}) {
+    record.add(std::string(obs::memAccountName(id)) + "_peak_mb",
+               static_cast<double>(mem.peakBytes(id)) / kMb);
+  }
+  record.add("accounted_peak_mb",
+             static_cast<double>(mem.totalPeakBytes()) / kMb);
+  record.add("rss_coverage", obs::currentMemSection().rssCoverage);
+  RAHTM_REQUIRE(!ratios.empty(), "mem_micro: no ratio samples");
+  record.add("mem_overhead_ratio",
+             *std::min_element(ratios.begin(), ratios.end()));
+  record.add("mem_on_seconds", onSec);
+  record.add("mem_off_seconds", offSec);
+  report.records.push_back(std::move(record));
+  report.env = fingerprint(scale);
+  return report;
 }
 
-obs::RunReport runSuite(const std::string& name,
-                        const ExperimentScale& scale) {
+obs::RunReport dispatchSuite(const std::string& name,
+                             const ExperimentScale& scale) {
   if (name == "table1") return suiteTable1(scale);
   if (name == "fig8") {
     return suiteStudy("fig8", {"BT", "SP", "CG"}, scale, /*overall=*/true);
@@ -409,12 +502,35 @@ obs::RunReport runSuite(const std::string& name,
   if (name == "refine_micro") return suiteRefineMicro(scale);
   if (name == "obs_overhead") return suiteObsOverhead(scale);
   if (name == "simnet_micro") return suiteSimnetMicro(scale);
+  if (name == "mem_micro") return suiteMemMicro(scale);
   if (name == "smoke") {
     return suiteStudy("smoke", {"CG"}, scale, /*overall=*/false);
   }
   throw ParseError("unknown suite '" + name + "' (known: table1, fig8, fig9, "
                    "fig10, ablation_refine, refine_micro, obs_overhead, "
-                   "simnet_micro, smoke)");
+                   "simnet_micro, mem_micro, smoke)");
+}
+
+}  // namespace
+
+std::vector<std::string> knownSuites() {
+  return {"table1",       "fig8",         "fig9",
+          "fig10",        "ablation_refine", "refine_micro",
+          "obs_overhead", "simnet_micro", "mem_micro",
+          "smoke"};
+}
+
+obs::RunReport runSuite(const std::string& name,
+                        const ExperimentScale& scale) {
+  obs::RunReport report = dispatchSuite(name, scale);
+  // Suite boundary: fold the current VmRSS into the sampled peak (the
+  // watchdog only samples while its poll thread runs), then snapshot the
+  // accounting into the ledger's mem section. Peaks are process-wide, so
+  // one suite per invocation keeps the attribution clean — tools/ci.sh
+  // runs them that way.
+  obs::MemRegistry::instance().sampleRss();
+  report.mem = obs::currentMemSection();
+  return report;
 }
 
 ExperimentScale scaleFromFingerprint(const obs::EnvFingerprint& env) {

@@ -16,7 +16,7 @@ namespace rahtm::bench {
 
 /// All suite names runSuite accepts, in canonical order:
 /// table1, fig8, fig9, fig10, ablation_refine, refine_micro, obs_overhead,
-/// simnet_micro, smoke.
+/// simnet_micro, mem_micro, smoke.
 std::vector<std::string> knownSuites();
 
 /// Run one suite at the given scale and return its ledger. The report's

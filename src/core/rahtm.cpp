@@ -7,6 +7,8 @@
 #include "exec/thread_pool.hpp"
 #include "graph/stats.hpp"
 #include "obs/heartbeat.hpp"
+#include "obs/json.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "routing/evaluator.hpp"
@@ -219,17 +221,26 @@ void recordPhaseQuality(RahtmStats& stats, const Torus& topo,
   q.phase = phase;
   q.mcl = placementMcl(topo, clusterGraph, nodeOfCluster);
   q.hopBytes = hopBytes(clusterGraph, topo, nodeOfCluster);
+  // Accounted-memory high-water mark since the previous phase boundary;
+  // the reset arms the next phase's measurement.
+  obs::MemRegistry& mem = obs::MemRegistry::instance();
+  q.memPeakBytes = mem.phasePeakBytes();
+  mem.resetPhasePeak();
   stats.phaseQuality.push_back(q);
   if (obs::Tracer* t = obs::tracer()) {
     t->instant("rahtm.quality", "rahtm",
                {{"phase", obs::jsonString(phase)},
                 {"mcl", obs::jsonDouble(q.mcl)},
-                {"hop_bytes", obs::jsonDouble(q.hopBytes)}});
+                {"hop_bytes", obs::jsonDouble(q.hopBytes)},
+                {"mem_peak_bytes",
+                 obs::jsonInt(static_cast<std::int64_t>(q.memPeakBytes))}});
   }
   if (obs::MetricsRegistry* reg = obs::metrics()) {
     const std::string prefix = std::string("rahtm.quality.") + phase;
     reg->gauge(prefix + ".mcl").set(q.mcl);
     reg->gauge(prefix + ".hop_bytes").set(q.hopBytes);
+    reg->gauge(std::string("rahtm.mem.") + phase + ".peak_bytes")
+        .set(static_cast<double>(q.memPeakBytes));
   }
 }
 
@@ -245,6 +256,9 @@ Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
   obs::ScopedSpan total(obs::tracer(), "rahtm.map", "rahtm");
   obs::PhaseScope totalPhase("rahtm.map");
   stats_ = RahtmStats{};
+  // Arm per-phase memory attribution: each recordPhaseQuality() call reads
+  // the high-water mark since the previous boundary and re-arms.
+  obs::MemRegistry::instance().resetPhasePeak();
   const RankId ranks = graph.numRanks();
   total.attr("ranks", static_cast<std::int64_t>(ranks));
   total.attr("machine", topo.describe());

@@ -61,6 +61,9 @@ struct PhaseQuality {
   std::string phase;
   double mcl = 0;
   double hopBytes = 0;
+  /// High-water mark of total accounted bytes (obs/mem.hpp) while this
+  /// phase ran — which phase's working set sizes the run's memory budget.
+  std::int64_t memPeakBytes = 0;
 };
 
 struct RahtmStats {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/mem.hpp"
 
 namespace rahtm {
 
@@ -125,12 +126,18 @@ class FlowIncidence {
       inc.flowIds_[cursor[a]++] = static_cast<std::uint32_t>(i);
       if (b != a) inc.flowIds_[cursor[b]++] = static_cast<std::uint32_t>(i);
     }
+    inc.mem_.set(static_cast<std::int64_t>(
+        inc.offsets_.capacity() * sizeof(std::size_t) +
+        inc.flowIds_.capacity() * sizeof(std::uint32_t)));
     return inc;
   }
 
  private:
   std::vector<std::size_t> offsets_;     ///< size numBuckets + 1
   std::vector<std::uint32_t> flowIds_;
+  /// CSR footprint, charged to the flow_incidence account; copies of the
+  /// incidence (delta_eval holds one by value) each carry their own tally.
+  obs::MemAccount mem_{obs::MemAccountId::FlowIncidence};
 };
 
 /// Incidence of \p g's flows over its vertices: of(v) = indices into

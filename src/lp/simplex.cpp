@@ -8,6 +8,7 @@
 #include "common/timer.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/heartbeat.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 
 namespace rahtm::lp {
@@ -145,6 +146,16 @@ class Simplex {
     tableau_.assign(static_cast<std::size_t>(m_) * nStored_, 0);
     beta_.assign(m_, 0);
     redCost_.assign(nStored_, 0);
+
+    // The two m x nStored matrices dominate; everything else is O(m + n).
+    mem_.set(static_cast<std::int64_t>(
+        (a_.capacity() + tableau_.capacity() + b_.capacity() +
+         lb_.capacity() + ub_.capacity() + cost_.capacity() +
+         activeCost_.capacity() + artSign_.capacity() + beta_.capacity() +
+         redCost_.capacity()) *
+            sizeof(double) +
+        basis_.capacity() * sizeof(int) +
+        state_.capacity() * sizeof(ColState)));
   }
 
   void setPhase1Costs() {
@@ -468,6 +479,7 @@ class Simplex {
   Timer timer_;  ///< started at construction; enforces timeLimitSec
 
   mutable std::vector<double> colBuf_;
+  obs::MemAccount mem_{obs::MemAccountId::Lp};
 };
 
 }  // namespace

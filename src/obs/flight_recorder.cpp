@@ -67,6 +67,8 @@ FlightRecorder::FlightRecorder(std::size_t capacityPerThread, int maxThreads)
     slots_[static_cast<std::size_t>(i)].ring =
         storage_.data() + static_cast<std::size_t>(i) * capacity_;
   }
+  mem_.set(static_cast<std::int64_t>(storage_.capacity() *
+                                     sizeof(FlightEventRecord)));
 }
 
 std::int64_t FlightRecorder::nowUs() const {

@@ -36,6 +36,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/mem.hpp"
+
 namespace rahtm::obs {
 
 /// Compact event kinds. Keep in sync with frEventName().
@@ -162,6 +164,7 @@ class FlightRecorder {
   std::atomic<int> slotCount_{0};
   std::atomic<std::int64_t> droppedEvents_{0};
   std::atomic<bool> enabled_{true};
+  obs::MemAccount mem_{obs::MemAccountId::Obs};  ///< pre-reserved ring storage
 };
 
 }  // namespace rahtm::obs

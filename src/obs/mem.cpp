@@ -1,0 +1,280 @@
+#include "obs/mem.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/process.hpp"
+
+namespace rahtm::obs {
+
+namespace {
+
+constexpr const char* kAccountNames[kMemAccountCount] = {
+    "route_table", "flow_incidence", "simnet", "lp", "mapper", "obs", "other"};
+
+constexpr std::int64_t kNoLimit = INT64_MAX;
+
+// Budget staging fractions: warn at 80%, degrade at the budget itself, fail
+// at 125% — the slack past DEGRADE gives the shed callbacks room to work
+// before the run is declared lost.
+constexpr double kWarnFrac = 0.80;
+constexpr double kDegradeFrac = 1.00;
+constexpr double kFailFrac = 1.25;
+
+std::int64_t stageLimit(std::int64_t budget, int stage) {
+  switch (stage) {
+    case 0: return static_cast<std::int64_t>(static_cast<double>(budget) * kWarnFrac);
+    case 1: return static_cast<std::int64_t>(static_cast<double>(budget) * kDegradeFrac);
+    case 2: return static_cast<std::int64_t>(static_cast<double>(budget) * kFailFrac);
+    default: return kNoLimit;
+  }
+}
+
+double toMb(std::int64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace
+
+const char* memAccountName(MemAccountId id) {
+  const int i = static_cast<int>(id);
+  return (i >= 0 && i < kMemAccountCount) ? kAccountNames[i] : "other";
+}
+
+MemRegistry::MemRegistry() {
+  nextLimit_.store(kNoLimit, std::memory_order_relaxed);
+  baselineRss_.store(currentRssBytes(), std::memory_order_relaxed);
+}
+
+MemRegistry& MemRegistry::instance() {
+  // Leaked so post-mortem handlers can read the counters during process
+  // teardown (same lifetime discipline as the PmState buffers).
+  static MemRegistry* g = [] {
+    auto* r = new MemRegistry();
+    if (const char* v = std::getenv("RAHTM_MEM_TRACK")) {
+      if (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0) {
+        r->setEnabled(false);
+      }
+    }
+    if (const char* v = std::getenv("RAHTM_MEM_BUDGET_MB")) {
+      char* end = nullptr;
+      const long long mb = std::strtoll(v, &end, 10);
+      if (end != v && *end == '\0' && mb > 0) {
+        r->setBudgetBytes(static_cast<std::int64_t>(mb) * 1024 * 1024);
+      }
+    }
+    return r;
+  }();
+  return *g;
+}
+
+void MemRegistry::track(MemAccountId id, std::int64_t bytes) {
+  if (bytes <= 0 || !enabled_.load(std::memory_order_relaxed)) return;
+  Slot& s = slots_[static_cast<int>(id)];
+  const std::int64_t cur =
+      s.current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::int64_t peak = s.peak.load(std::memory_order_relaxed);
+  while (cur > peak &&
+         !s.peak.compare_exchange_weak(peak, cur, std::memory_order_relaxed)) {
+  }
+  const std::int64_t total =
+      totalCurrent_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::int64_t tpeak = totalPeak_.load(std::memory_order_relaxed);
+  while (total > tpeak && !totalPeak_.compare_exchange_weak(
+                              tpeak, total, std::memory_order_relaxed)) {
+  }
+  std::int64_t ppeak = phasePeak_.load(std::memory_order_relaxed);
+  while (total > ppeak && !phasePeak_.compare_exchange_weak(
+                              ppeak, total, std::memory_order_relaxed)) {
+  }
+  // Hot path ends here: one relaxed compare against the next budget rung
+  // (INT64_MAX when unlimited or fully escalated).
+  if (total > nextLimit_.load(std::memory_order_relaxed)) escalate(total);
+}
+
+void MemRegistry::untrack(MemAccountId id, std::int64_t bytes) noexcept {
+  if (bytes <= 0 || !enabled_.load(std::memory_order_relaxed)) return;
+  slots_[static_cast<int>(id)].current.fetch_sub(bytes,
+                                                 std::memory_order_relaxed);
+  totalCurrent_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::int64_t MemRegistry::currentBytes(MemAccountId id) const {
+  return slots_[static_cast<int>(id)].current.load(std::memory_order_relaxed);
+}
+
+std::int64_t MemRegistry::peakBytes(MemAccountId id) const {
+  return slots_[static_cast<int>(id)].peak.load(std::memory_order_relaxed);
+}
+
+void MemRegistry::setBudgetBytes(std::int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budgetBytes_.store(bytes > 0 ? bytes : 0, std::memory_order_relaxed);
+  stage_.store(0, std::memory_order_relaxed);
+  nextLimit_.store(bytes > 0 ? stageLimit(bytes, 0) : kNoLimit,
+                   std::memory_order_relaxed);
+}
+
+int MemRegistry::registerDegradeCallback(std::string name, DegradeFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int handle = nextHandle_++;
+  callbacks_.push_back(Callback{handle, std::move(name), std::move(fn)});
+  return handle;
+}
+
+void MemRegistry::unregisterDegradeCallback(int handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = callbacks_.begin(); it != callbacks_.end(); ++it) {
+    if (it->handle == handle) {
+      callbacks_.erase(it);
+      return;
+    }
+  }
+}
+
+void MemRegistry::escalate(std::int64_t total) {
+  // The ladder is serialized: one thread climbs a rung at a time, and each
+  // rung is visited at most once per setBudgetBytes (stages are monotone).
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const std::int64_t budget = budgetBytes_.load(std::memory_order_relaxed);
+    const int stage = stage_.load(std::memory_order_relaxed);
+    if (budget <= 0 || stage >= 3) return;
+    if (total <= stageLimit(budget, stage)) return;
+
+    const int next = stage + 1;
+    stage_.store(next, std::memory_order_relaxed);
+    nextLimit_.store(stageLimit(budget, next), std::memory_order_relaxed);
+
+    if (next == 1) {
+      RAHTM_LOG(Warn) << "mem budget: accounted bytes at "
+                      << breakdown(total) << " crossed 80% of budget ("
+                      << toMb(budget) << " MB); WARN stage";
+    } else if (next == 2) {
+      degradeRuns_.fetch_add(1, std::memory_order_relaxed);
+      // Copy the chain so a callback can unregister itself; run unlocked so
+      // callbacks may call untrack()/unregisterDegradeCallback without
+      // deadlocking, then re-take the lock for the next rung check.
+      std::vector<Callback> chain = callbacks_;
+      lock.unlock();
+      std::int64_t shed = 0;
+      for (const Callback& cb : chain) {
+        const std::int64_t freed = cb.fn ? cb.fn() : 0;
+        if (freed > 0) shed += freed;
+        RAHTM_LOG(Warn) << "mem budget: degrade callback '" << cb.name
+                        << "' shed " << toMb(freed > 0 ? freed : 0) << " MB";
+      }
+      RAHTM_LOG(Warn) << "mem budget: DEGRADE stage shed " << toMb(shed)
+                      << " MB total; " << breakdown(totalCurrentBytes());
+      lock.lock();
+      // Re-check against the *post-shed* total: if the callbacks freed
+      // enough, the FAIL rung never fires.
+      total = totalCurrent_.load(std::memory_order_relaxed);
+      continue;
+    } else {
+      const std::string msg =
+          "memory budget exceeded: accounted " + breakdown(total) +
+          " passed 125% of RAHTM_MEM_BUDGET_MB (" +
+          std::to_string(static_cast<long long>(toMb(budget))) + " MB)";
+      RAHTM_LOG(Error) << msg;
+      throw MemBudgetError(msg);
+    }
+  }
+}
+
+std::string MemRegistry::breakdown(std::int64_t total) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << toMb(total) << " MB [";
+  bool first = true;
+  for (int i = 0; i < kMemAccountCount; ++i) {
+    const std::int64_t cur = slots_[i].current.load(std::memory_order_relaxed);
+    if (cur <= 0) continue;
+    if (!first) os << ' ';
+    os << kAccountNames[i] << '=' << toMb(cur) << "MB";
+    first = false;
+  }
+  os << ']';
+  return os.str();
+}
+
+void MemRegistry::sampleRss() {
+  const std::int64_t rss = currentRssBytes();
+  if (rss <= 0) return;
+  sampledRss_.store(rss, std::memory_order_relaxed);
+  std::int64_t peak = sampledRssPeak_.load(std::memory_order_relaxed);
+  while (rss > peak && !sampledRssPeak_.compare_exchange_weak(
+                           peak, rss, std::memory_order_relaxed)) {
+  }
+  if (MetricsRegistry* m = metrics()) {
+    m->gauge("mem.sampled_rss_bytes")
+        .set(static_cast<double>(rss));
+    m->gauge("mem.accounted_bytes")
+        .set(static_cast<double>(totalCurrent_.load(std::memory_order_relaxed)));
+  }
+}
+
+void MemRegistry::writeReport(std::ostream& os) const {
+  const std::int64_t totalPeak = totalPeakBytes();
+  const std::int64_t rssPeak = peakRssBytes();
+  os << "memory report (accounted bytes by subsystem)\n";
+  os << "  account          current_mb    peak_mb\n";
+  for (int i = 0; i < kMemAccountCount; ++i) {
+    const std::int64_t cur = slots_[i].current.load(std::memory_order_relaxed);
+    const std::int64_t peak = slots_[i].peak.load(std::memory_order_relaxed);
+    os << "  " << std::left << std::setw(15) << kAccountNames[i] << std::right
+       << std::fixed << std::setprecision(2) << std::setw(12) << toMb(cur)
+       << std::setw(11) << toMb(peak) << "\n";
+  }
+  os << "  accounted total: " << std::fixed << std::setprecision(2)
+     << toMb(totalCurrentBytes()) << " MB current, " << toMb(totalPeak)
+     << " MB peak\n";
+  const std::int64_t baseline = baselineRss_.load(std::memory_order_relaxed);
+  os << "  process VmHWM:   " << toMb(rssPeak) << " MB (baseline "
+     << toMb(baseline) << " MB at registry init)";
+  if (rssPeak > baseline) {
+    os << "; accounted peak covers " << std::setprecision(1)
+       << (100.0 * static_cast<double>(totalPeak) /
+           static_cast<double>(rssPeak - baseline))
+       << "% of growth";
+  }
+  os << "\n";
+  if (sampledRssPeak_.load(std::memory_order_relaxed) > 0) {
+    os << "  sampled VmRSS:   " << std::setprecision(2)
+       << toMb(sampledRss_.load(std::memory_order_relaxed)) << " MB current, "
+       << toMb(sampledRssPeak_.load(std::memory_order_relaxed))
+       << " MB peak\n";
+  }
+  const std::int64_t budget = budgetBytes_.load(std::memory_order_relaxed);
+  if (budget > 0) {
+    os << "  budget:          " << toMb(budget) << " MB, stage "
+       << stage_.load(std::memory_order_relaxed)
+       << " (0=ok 1=warn 2=degrade 3=fail)\n";
+  }
+}
+
+void MemRegistry::resetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& s : slots_) {
+    s.current.store(0, std::memory_order_relaxed);
+    s.peak.store(0, std::memory_order_relaxed);
+  }
+  totalCurrent_.store(0, std::memory_order_relaxed);
+  totalPeak_.store(0, std::memory_order_relaxed);
+  phasePeak_.store(0, std::memory_order_relaxed);
+  budgetBytes_.store(0, std::memory_order_relaxed);
+  nextLimit_.store(kNoLimit, std::memory_order_relaxed);
+  stage_.store(0, std::memory_order_relaxed);
+  degradeRuns_.store(0, std::memory_order_relaxed);
+  sampledRss_.store(0, std::memory_order_relaxed);
+  sampledRssPeak_.store(0, std::memory_order_relaxed);
+  baselineRss_.store(currentRssBytes(), std::memory_order_relaxed);
+  callbacks_.clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace rahtm::obs

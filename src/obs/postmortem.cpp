@@ -19,6 +19,7 @@
 #include "obs/heartbeat.hpp"
 #include "obs/json.hpp"
 #include "obs/json_reader.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -174,6 +175,13 @@ PmState& stateLocked() {
                 postmortemDirFromEnv().c_str());
   renderEnvStatic(*st);
   captureMetrics(*st);
+  // Charge the pre-reserved crash buffers to the obs account, and force the
+  // memory registry into existence here, in normal context — the crash-time
+  // memory section must only read already-constructed atomics.
+  track(MemAccountId::Obs,
+        static_cast<std::int64_t>(
+            st->buf.capacity() +
+            st->ringCopy.capacity() * sizeof(FlightEventRecord)));
   gState.store(st, std::memory_order_release);
   return *st;
 }
@@ -300,6 +308,40 @@ void buildJson(PmState& st, Buf& b, const char* reason, int signo) {
     b.dbl(st.gauges[i].second->value());
   }
   b.raw("}\n  }");
+
+  // Memory section: everything here is a relaxed atomic load from the
+  // (leaked, already-constructed) registry — no locks, no allocation, so
+  // it is as signal-safe as the heartbeat block above. An OOM-adjacent
+  // crash is precisely when the per-subsystem breakdown matters most.
+  {
+    MemRegistry& mem = MemRegistry::instance();
+    b.raw(",\n  \"memory\": {\n    \"accounts\": {");
+    for (int i = 0; i < kMemAccountCount; ++i) {
+      const auto id = static_cast<MemAccountId>(i);
+      if (i != 0) b.raw(", ");
+      b.esc(memAccountName(id));
+      b.raw(": {\"current_bytes\": ");
+      b.i64(mem.currentBytes(id));
+      b.raw(", \"peak_bytes\": ");
+      b.i64(mem.peakBytes(id));
+      b.ch('}');
+    }
+    b.raw("},\n    \"accounted_current_bytes\": ");
+    b.i64(mem.totalCurrentBytes());
+    b.raw(",\n    \"accounted_peak_bytes\": ");
+    b.i64(mem.totalPeakBytes());
+    b.raw(",\n    \"baseline_rss_bytes\": ");
+    b.i64(mem.baselineRssBytes());
+    b.raw(",\n    \"sampled_rss_bytes\": ");
+    b.i64(mem.sampledRssBytes());
+    b.raw(",\n    \"sampled_rss_peak_bytes\": ");
+    b.i64(mem.sampledRssPeakBytes());
+    b.raw(",\n    \"budget_bytes\": ");
+    b.i64(mem.budgetBytes());
+    b.raw(",\n    \"budget_stage\": ");
+    b.i64(mem.budgetStage());
+    b.raw("\n  }");
+  }
 
   b.raw(",\n  \"environment\": {\n");
   b.raw(st.envStatic);
@@ -529,6 +571,32 @@ std::vector<std::string> validatePostmortemJson(const JsonValue& doc) {
       const JsonValue* v = met->find(key);
       if (v == nullptr || !v->isObject()) {
         problem(std::string("metrics: missing object '") + key + "'");
+      }
+    }
+  }
+  const JsonValue* memv = doc.find("memory");
+  if (memv == nullptr || !memv->isObject()) {
+    problem("missing object key 'memory'");
+  } else {
+    const JsonValue* accounts = memv->find("accounts");
+    if (accounts == nullptr || !accounts->isObject()) {
+      problem("memory: missing object 'accounts'");
+    } else {
+      for (const auto& [name, v] : accounts->object) {
+        if (!v.isObject() || v.find("current_bytes") == nullptr ||
+            v.find("peak_bytes") == nullptr) {
+          problem("memory.accounts: '" + name +
+                  "' missing current_bytes/peak_bytes");
+        }
+      }
+    }
+    for (const char* key :
+         {"accounted_current_bytes", "accounted_peak_bytes",
+          "baseline_rss_bytes", "sampled_rss_bytes", "sampled_rss_peak_bytes",
+          "budget_bytes", "budget_stage"}) {
+      const JsonValue* v = memv->find(key);
+      if (v == nullptr || !v->isNumber()) {
+        problem(std::string("memory: missing number '") + key + "'");
       }
     }
   }

@@ -1,7 +1,9 @@
 #include "obs/process.hpp"
 
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace rahtm::obs {
@@ -12,6 +14,30 @@ namespace {
 // start for practical purposes.
 const std::chrono::steady_clock::time_point g_processStart =
     std::chrono::steady_clock::now();
+
+// Scan /proc/self/status for one "<key> <n> kB" line. The two RSS readers
+// share this; parsing proper lives in parseStatusKb so tests can cover the
+// edge cases without a live /proc.
+std::int64_t readStatusKb(const char* key) {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::int64_t bytes = 0;
+  const std::size_t keyLen = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, keyLen) == 0) {
+      bytes = parseStatusKb(line, key);
+      break;
+    }
+  }
+  std::fclose(f);
+  return bytes;
+#else
+  (void)key;
+  return 0;
+#endif
+}
 }  // namespace
 
 double processWallSeconds() {
@@ -20,23 +46,29 @@ double processWallSeconds() {
       .count();
 }
 
-std::int64_t peakRssBytes() {
-#if defined(__linux__)
-  std::FILE* f = std::fopen("/proc/self/status", "r");
-  if (f == nullptr) return 0;
-  char line[256];
-  std::int64_t kb = 0;
-  while (std::fgets(line, sizeof(line), f) != nullptr) {
-    if (std::strncmp(line, "VmHWM:", 6) == 0) {
-      std::sscanf(line + 6, "%lld", reinterpret_cast<long long*>(&kb));
-      break;
+std::int64_t parseStatusKb(const char* statusText, const char* key) {
+  if (statusText == nullptr || key == nullptr || key[0] == '\0') return 0;
+  const std::size_t keyLen = std::strlen(key);
+  for (const char* p = statusText; *p != '\0';) {
+    // Keys only match at line starts — "VmRSS:" must not match inside
+    // another line's value.
+    if (std::strncmp(p, key, keyLen) == 0) {
+      const char* v = p + keyLen;
+      while (*v == ' ' || *v == '\t') ++v;
+      if (!std::isdigit(static_cast<unsigned char>(*v))) return 0;
+      char* end = nullptr;
+      const long long kb = std::strtoll(v, &end, 10);
+      if (end == v || kb < 0) return 0;
+      return static_cast<std::int64_t>(kb) * 1024;
     }
+    while (*p != '\0' && *p != '\n') ++p;
+    if (*p == '\n') ++p;
   }
-  std::fclose(f);
-  return kb * 1024;
-#else
   return 0;
-#endif
 }
+
+std::int64_t peakRssBytes() { return readStatusKb("VmHWM:"); }
+
+std::int64_t currentRssBytes() { return readStatusKb("VmRSS:"); }
 
 }  // namespace rahtm::obs

@@ -1,9 +1,10 @@
 #pragma once
 /// \file process.hpp
 /// Process-level resource observations attached to every metrics / ledger
-/// snapshot: elapsed wall time and peak resident set size. Both are cheap
-/// point reads (a steady-clock subtraction and one /proc file scan), so
-/// snapshot writers call them unconditionally.
+/// snapshot: elapsed wall time, peak resident set size (VmHWM) and current
+/// resident set size (VmRSS). All are cheap point reads (a steady-clock
+/// subtraction and one /proc file scan), so snapshot writers call them
+/// unconditionally and the watchdog samples VmRSS every poll tick.
 
 #include <cstdint>
 
@@ -18,5 +19,16 @@ double processWallSeconds();
 /// /proc/self/status (VmHWM) on Linux; 0 on platforms without procfs or
 /// when the read fails — callers treat 0 as "unavailable".
 std::int64_t peakRssBytes();
+
+/// Current resident set size (VmRSS) in bytes; 0 when unavailable. Sampled
+/// periodically by the memory registry (obs/mem.*) to measure drift between
+/// accounted bytes and real RSS.
+std::int64_t currentRssBytes();
+
+/// Extract "<key> <n> kB" from a /proc/self/status-style text and return
+/// n * 1024; 0 when \p key is absent or its value does not parse. \p key
+/// includes the colon ("VmHWM:"). Exposed so tests can drive the parser
+/// with synthetic fixture strings instead of only live /proc reads.
+std::int64_t parseStatusKb(const char* statusText, const char* key);
 
 }  // namespace rahtm::obs

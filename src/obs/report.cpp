@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "obs/json.hpp"
 #include "obs/json_reader.hpp"
+#include "obs/mem.hpp"
 #include "obs/process.hpp"
 
 // Build provenance is injected by CMake (see src/obs/CMakeLists.txt); the
@@ -55,6 +56,24 @@ EnvFingerprint currentEnvFingerprint() {
   return env;
 }
 
+MemSection currentMemSection() {
+  MemSection mem;
+  mem.present = true;
+  const MemRegistry& reg = MemRegistry::instance();
+  for (int i = 0; i < kMemAccountCount; ++i) {
+    const auto id = static_cast<MemAccountId>(i);
+    mem.accounts.emplace_back(memAccountName(id), reg.peakBytes(id));
+  }
+  mem.accountedPeakBytes = reg.totalPeakBytes();
+  mem.baselineRssBytes = reg.baselineRssBytes();
+  mem.peakRssBytes = peakRssBytes();
+  const std::int64_t growth = mem.peakRssBytes - mem.baselineRssBytes;
+  mem.rssCoverage = growth > 0 ? static_cast<double>(mem.accountedPeakBytes) /
+                                     static_cast<double>(growth)
+                               : 0.0;
+  return mem;
+}
+
 bool RunRecord::has(const std::string& name) const {
   for (const auto& [k, v] : metrics) {
     if (k == name) return true;
@@ -94,6 +113,23 @@ void RunReport::writeJson(std::ostream& os) const {
   os << "    \"wall_seconds\": " << jsonDouble(env.wallSeconds) << ",\n";
   os << "    \"peak_rss_bytes\": " << jsonInt(env.peakRssBytes) << "\n";
   os << "  },\n";
+  if (mem.present) {
+    os << "  \"mem\": {\n";
+    os << "    \"accounts\": {";
+    for (std::size_t i = 0; i < mem.accounts.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << jsonString(mem.accounts[i].first) << ": "
+         << jsonInt(mem.accounts[i].second);
+    }
+    os << "},\n";
+    os << "    \"accounted_peak_bytes\": " << jsonInt(mem.accountedPeakBytes)
+       << ",\n";
+    os << "    \"baseline_rss_bytes\": " << jsonInt(mem.baselineRssBytes)
+       << ",\n";
+    os << "    \"peak_rss_bytes\": " << jsonInt(mem.peakRssBytes) << ",\n";
+    os << "    \"rss_coverage\": " << jsonDouble(mem.rssCoverage) << "\n";
+    os << "  },\n";
+  }
   os << "  \"records\": [";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const RunRecord& r = records[i];
@@ -145,6 +181,34 @@ std::vector<std::string> validateReportJson(const JsonValue& doc) {
       if (v == nullptr || !v->isNumber()) {
         appendProblem(problems,
                       std::string("environment: missing number '") + key + "'");
+      }
+    }
+  }
+  // "mem" is optional (pre-accounting ledgers lack it) but must be
+  // well-formed when present.
+  const JsonValue* memv = doc.find("mem");
+  if (memv != nullptr) {
+    if (!memv->isObject()) {
+      appendProblem(problems, "'mem' is not an object");
+    } else {
+      const JsonValue* accounts = memv->find("accounts");
+      if (accounts == nullptr || !accounts->isObject()) {
+        appendProblem(problems, "mem: missing object 'accounts'");
+      } else {
+        for (const auto& [name, v] : accounts->object) {
+          if (!v.isNumber()) {
+            appendProblem(problems,
+                          "mem.accounts: '" + name + "' is not a number");
+          }
+        }
+      }
+      for (const char* key : {"accounted_peak_bytes", "baseline_rss_bytes",
+                              "peak_rss_bytes", "rss_coverage"}) {
+        const JsonValue* v = memv->find(key);
+        if (v == nullptr || !v->isNumber()) {
+          appendProblem(problems,
+                        std::string("mem: missing number '") + key + "'");
+        }
       }
     }
   }
@@ -211,6 +275,20 @@ RunReport readReport(std::istream& in) {
   report.env.wallSeconds = envv.at("wall_seconds").number;
   report.env.peakRssBytes =
       static_cast<std::int64_t>(envv.at("peak_rss_bytes").number);
+  if (const JsonValue* memv = doc.find("mem")) {
+    report.mem.present = true;
+    for (const auto& [name, v] : memv->at("accounts").object) {
+      report.mem.accounts.emplace_back(name,
+                                       static_cast<std::int64_t>(v.number));
+    }
+    report.mem.accountedPeakBytes =
+        static_cast<std::int64_t>(memv->at("accounted_peak_bytes").number);
+    report.mem.baselineRssBytes =
+        static_cast<std::int64_t>(memv->at("baseline_rss_bytes").number);
+    report.mem.peakRssBytes =
+        static_cast<std::int64_t>(memv->at("peak_rss_bytes").number);
+    report.mem.rssCoverage = memv->at("rss_coverage").number;
+  }
   for (const JsonValue& r : doc.at("records").array) {
     RunRecord record;
     record.benchmark = r.at("benchmark").str;
@@ -259,6 +337,24 @@ ThresholdMap defaultThresholds() {
       {"overhead_ratio", 0.02},
       {"forensics_on_seconds", inf},
       {"forensics_off_seconds", inf},
+      // Memory gates. peak_rss_mb is the synthetic per-suite column derived
+      // from the environment fingerprint (works against pre-`mem` baselines
+      // too); the generous 25% absorbs allocator/host noise while still
+      // catching gross regressions. The per-account *_peak_mb columns in
+      // mem_micro are deterministic accounted bytes, gated tighter; the
+      // accounting overhead ratio carries the same 2% budget as forensics.
+      {"peak_rss_mb", 0.25},
+      {"route_table_peak_mb", 0.05},
+      {"flow_incidence_peak_mb", 0.05},
+      {"simnet_peak_mb", 0.05},
+      {"lp_peak_mb", 0.05},
+      {"mapper_peak_mb", 0.05},
+      {"obs_peak_mb", 0.05},
+      {"accounted_peak_mb", 0.05},
+      {"rss_coverage", inf},
+      {"mem_overhead_ratio", 0.02},
+      {"mem_on_seconds", inf},
+      {"mem_off_seconds", inf},
       // Simulator gate (bench/suites.cpp simnet_micro). The mismatch
       // counters have committed baselines of 0, so any nonzero value is an
       // unbounded relative regression — exactly the intended hard failure.
@@ -312,6 +408,28 @@ CheckResult compareReports(const RunReport& baseline,
              candidate.env.messageBytes);
   scaleField("sim_iterations", baseline.env.simIterations,
              candidate.env.simIterations);
+
+  // Synthetic per-suite memory column: gate the process peak RSS recorded
+  // in the environment fingerprint. This works against baselines that
+  // predate the `mem` section — VmHWM has been in every fingerprint since
+  // the ledger existed. Skipped when either side reads 0 (no procfs).
+  if (baseline.env.peakRssBytes > 0 && candidate.env.peakRssBytes > 0) {
+    MetricCheck check;
+    check.benchmark = "(suite)";
+    check.mapper = "(process)";
+    check.metric = "peak_rss_mb";
+    check.baseline =
+        static_cast<double>(baseline.env.peakRssBytes) / (1024.0 * 1024.0);
+    check.current =
+        static_cast<double>(candidate.env.peakRssBytes) / (1024.0 * 1024.0);
+    check.relDelta = (check.current - check.baseline) /
+                     std::max(std::fabs(check.baseline), 1e-12);
+    const auto it = thresholds.find("peak_rss_mb");
+    check.threshold = it != thresholds.end() ? it->second : kDefaultThreshold;
+    check.regression = check.relDelta > check.threshold;
+    check.improvement = check.relDelta < -check.threshold;
+    result.checks.push_back(std::move(check));
+  }
 
   for (const RunRecord& base : baseline.records) {
     const RunRecord* cur = candidate.find(base.benchmark, base.mapper);

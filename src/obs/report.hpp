@@ -50,6 +50,27 @@ struct EnvFingerprint {
 /// type, OS, wall clock, peak RSS). Scale fields are the caller's.
 EnvFingerprint currentEnvFingerprint();
 
+/// The ledger's "mem" section: per-subsystem accounted peak bytes
+/// (obs/mem.hpp) next to the process VmHWM they are meant to explain.
+/// `rssCoverage` = accountedPeakBytes / (peakRssBytes - baselineRssBytes):
+/// how much of the process's RSS *growth* past its startup baseline (code
+/// pages, libc, allocator warmup — bytes no subsystem owns) the accounting
+/// attributes. When it decays, the accounting has a coverage hole, not the
+/// program a leak. Optional in the schema so ledgers written before the
+/// accounting era still parse.
+struct MemSection {
+  bool present = false;
+  /// (account name, peak bytes) in the fixed MemAccountId order.
+  std::vector<std::pair<std::string, std::int64_t>> accounts;
+  std::int64_t accountedPeakBytes = 0;
+  std::int64_t baselineRssBytes = 0;
+  std::int64_t peakRssBytes = 0;
+  double rssCoverage = 0;
+};
+
+/// Snapshot the global MemRegistry (plus VmHWM) into a ledger section.
+MemSection currentMemSection();
+
 /// One measured configuration: a (benchmark, mapper) cell with its metric
 /// values in canonical order. The standard metric names are "comm_cycles",
 /// "mcl", "hop_bytes" and "map_seconds"; suites may add their own.
@@ -69,6 +90,7 @@ struct RunRecord {
 struct RunReport {
   std::string suite;
   EnvFingerprint env;
+  MemSection mem;
   std::vector<RunRecord> records;
 
   const RunRecord* find(const std::string& benchmark,

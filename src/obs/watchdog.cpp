@@ -11,6 +11,7 @@
 #include "common/strings.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/heartbeat.hpp"
+#include "obs/mem.hpp"
 #include "obs/postmortem.hpp"
 
 namespace rahtm::obs {
@@ -118,6 +119,11 @@ void Watchdog::loop() {
         return;
       }
     }
+
+    // Periodic VmRSS sample: the poll thread is the one place every run
+    // already wakes on a steady cadence, so the memory registry's
+    // accounted-vs-RSS drift metric rides along for free.
+    MemRegistry::instance().sampleRss();
 
     bool progressed = false;
     for (int p = 0; p < kPulseCount; ++p) {

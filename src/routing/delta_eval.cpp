@@ -44,6 +44,20 @@ RouteTable::RouteTable(const Torus& topo) : topo_(&topo) {
   if (denseIndex_) {
     dense_.resize(static_cast<std::size_t>(topo.numNodes() * topo.numNodes()));
   }
+  accountBytes();
+}
+
+void RouteTable::accountBytes() {
+  std::size_t b = dense_.capacity() * sizeof(Slice) +
+                  channels_.capacity() * sizeof(ChannelId) +
+                  fracs_.capacity() * sizeof(double);
+  // Hash-index fallback: node size (pair + two pointers of chaining
+  // overhead) per entry plus the bucket array. An estimate, but the arena
+  // dominates at any scale where the sparse index is active.
+  b += sparse_.size() *
+           (sizeof(std::pair<const std::uint64_t, Slice>) + 2 * sizeof(void*)) +
+       sparse_.bucket_count() * sizeof(void*);
+  mem_.set(static_cast<std::int64_t>(b));
 }
 
 RouteTable::Slice& RouteTable::sliceOf(NodeId src, NodeId dst) {
@@ -75,6 +89,7 @@ RouteTable::Span RouteTable::get(NodeId src, NodeId dst) {
           fracs_.push_back(frac);
         });
     s.len = static_cast<std::int64_t>(channels_.size()) - s.start;
+    accountBytes();  // capacity-based: atomics touched only on arena growth
   }
   return {channels_.data() + s.start, fracs_.data() + s.start,
           static_cast<std::size_t>(s.len)};
@@ -94,6 +109,7 @@ void RouteTable::buildAll() {
     for (NodeId d = 0; d < n; ++d) get(s, d);
   }
   complete_ = true;
+  accountBytes();
 }
 
 bool RouteTable::fullBuildFeasible(const Torus& topo) {
@@ -134,6 +150,19 @@ DeltaPlacementEval::DeltaPlacementEval(
     mark_.assign(slots, 0);
   }
   rebuild();
+  accountBytes();
+}
+
+void DeltaPlacementEval::accountBytes() {
+  const std::size_t b =
+      placement_.capacity() * sizeof(NodeId) +
+      loads_.capacity() * sizeof(double) + peak_.capacity() * sizeof(double) +
+      delta_.capacity() * sizeof(double) +
+      mark_.capacity() * sizeof(std::uint32_t) +
+      (heap_.capacity() + stash_.capacity()) *
+          sizeof(std::pair<double, ChannelId>) +
+      touched_.capacity() * sizeof(ChannelId);
+  mem_.set(static_cast<std::int64_t>(b));
 }
 
 RouteTable::Span DeltaPlacementEval::route(NodeId src, NodeId dst) {
@@ -379,6 +408,7 @@ void DeltaPlacementEval::heapPush(double value, ChannelId c) {
 
 void DeltaPlacementEval::compactHeapIfNeeded() {
   if (!cfg_.trackLoads) return;
+  accountBytes();  // per commit; capacity based, atomics only on heap growth
   const std::size_t cap = std::max<std::size_t>(1024, 4 * loads_.size());
   if (heap_.size() <= cap) return;
   // Dense sweep: drop every stale entry and resynchronize the running

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "graph/comm_graph.hpp"
+#include "obs/mem.hpp"
 #include "topology/torus.hpp"
 
 namespace rahtm {
@@ -94,6 +95,9 @@ class RouteTable {
   };
   Slice& sliceOf(NodeId src, NodeId dst);
   const Slice* findSlice(NodeId src, NodeId dst) const;
+  /// Recompute the footprint charged to the route_table account (capacity
+  /// based, so it only moves — and only then touches atomics — on growth).
+  void accountBytes();
 
   const Torus* topo_;
   bool complete_ = false;
@@ -105,6 +109,7 @@ class RouteTable {
   // Arena (structure of arrays): all routes back to back.
   std::vector<ChannelId> channels_;
   std::vector<double> fracs_;
+  obs::MemAccount mem_{obs::MemAccountId::RouteTable};
 };
 
 struct DeltaEvalConfig {
@@ -175,6 +180,9 @@ class DeltaPlacementEval {
   void heapPush(double value, ChannelId c);
   void compactHeapIfNeeded();
   void sweepStats();
+  /// Recompute the footprint charged to the mapper account (dense vectors,
+  /// lazy heap, probe scratch); capacity based like RouteTable's.
+  void accountBytes();
 
   const Torus* topo_;
   const CommGraph* graph_;
@@ -207,6 +215,7 @@ class DeltaPlacementEval {
   std::uint64_t probes_ = 0;
   std::uint64_t commits_ = 0;
   std::uint64_t denseSweeps_ = 0;
+  obs::MemAccount mem_{obs::MemAccountId::Mapper};
 };
 
 }  // namespace rahtm

@@ -18,6 +18,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/heartbeat.hpp"
 #include "obs/json.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "routing/delta_eval.hpp"
@@ -183,6 +184,7 @@ class IterationSim {
       hChan_ = &reg->histogram("simnet.link_channel_flits",
                                obs::expBuckets(16, 2, 24));
     }
+    accountBytes();
   }
 
   PhaseResult run(const std::vector<Phase>& stages) {
@@ -234,6 +236,7 @@ class IterationSim {
     }
     span.attr("sim_workers", static_cast<std::int64_t>(workers_));
     if (error_) std::rethrow_exception(error_);
+    accountBytes();  // mailbox / active-list growth during the run
 
     PhaseResult result;
     result.cycles = cycle_;
@@ -358,6 +361,36 @@ class IterationSim {
                      });
     for (const StagedPacket& sp : staged_) enqueue(sp.queue, sp.pkt, -1);
     staged_.clear();
+    // Post-load is the queue population's high-water mark for typical
+    // phases (every released packet is enqueued, nothing has drained yet).
+    accountBytes();
+  }
+
+  /// Recompute the footprint charged to the simnet account: the sharded
+  /// queue array with its live packets, mailboxes, message table and
+  /// per-rank dependency state. Called at construction, after stage
+  /// loading and at end-of-run — never inside the cycle loop.
+  void accountBytes() {
+    std::size_t b = queues_.capacity() * sizeof(Queue);
+    for (const Queue& q : queues_) b += q.packets.size() * sizeof(Packet);
+    b += shardOfNode_.capacity() * sizeof(std::int32_t) +
+         shardOfQueue_.capacity() * sizeof(std::int32_t) +
+         shards_.capacity() * sizeof(Shard) + mail_.capacity() * sizeof(Mailbox);
+    for (const Shard& s : shards_) {
+      b += s.active.capacity() * sizeof(std::ptrdiff_t) +
+           s.deliveries.capacity() * sizeof(Delivery);
+    }
+    for (const Mailbox& mb : mail_) b += mb.box.capacity() * sizeof(Handoff);
+    b += messages_.capacity() * sizeof(MessageState) +
+         rankStage_.capacity() * sizeof(std::int32_t) +
+         staged_.capacity() * sizeof(StagedPacket);
+    for (const auto& v : sentBy_) b += v.capacity() * sizeof(std::int32_t);
+    for (const auto& v : pendingSend_) b += v.capacity() * sizeof(std::int32_t);
+    for (const auto& v : pendingRecv_) b += v.capacity() * sizeof(std::int32_t);
+    b += (sentBy_.capacity() + pendingSend_.capacity() +
+          pendingRecv_.capacity()) *
+         sizeof(std::vector<std::int32_t>);
+    mem_.set(static_cast<std::int64_t>(b));
   }
 
   /// Inject every stage-\p s message of \p rank.
@@ -705,6 +738,7 @@ class IterationSim {
 
   bool loading_ = false;  ///< stage-0 release: defer enqueues into staged_
   std::vector<StagedPacket> staged_;
+  obs::MemAccount mem_{obs::MemAccountId::Simnet};
   std::int32_t stagedSeqInj_ = 0;
   std::int32_t stagedSeqLoc_ = 0;
 

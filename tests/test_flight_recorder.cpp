@@ -294,6 +294,19 @@ TEST(Postmortem, ManualDumpMatchesSchema) {
   EXPECT_GE(counters->numberOr("rahtm.subproblems", 0), 3.0);
   const JsonValue* stack = doc.find("phase_stack");
   ASSERT_NE(stack, nullptr);
+  // The memory section: per-account counters from the MemRegistry plus the
+  // budget state, written from relaxed atomics (signal-safe path).
+  const JsonValue* mem = doc.find("memory");
+  ASSERT_NE(mem, nullptr);
+  const JsonValue* accounts = mem->find("accounts");
+  ASSERT_NE(accounts, nullptr);
+  const JsonValue* obsAccount = accounts->find("obs");
+  ASSERT_NE(obsAccount, nullptr);
+  // stateLocked() tracks the post-mortem buffers under "obs" before the
+  // dump, so this account is live by construction.
+  EXPECT_GT(obsAccount->numberOr("peak_bytes", 0), 0.0);
+  EXPECT_GE(mem->numberOr("accounted_peak_bytes", -1), 0.0);
+  EXPECT_GE(mem->numberOr("budget_stage", -1), 0.0);
 }
 
 TEST(Postmortem, ValidatorRejectsWrongSchema) {

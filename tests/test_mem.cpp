@@ -1,0 +1,287 @@
+// Tests for the subsystem-attributed memory accounting layer (obs/mem.*):
+// registry counter semantics, MemAccount RAII ownership transfer, the
+// tracking allocator, the staged budget escalation (warn -> degrade ->
+// fail) with the degrade-callback registry, phase high-water marks, RSS
+// sampling, and the /proc/self/status parser the samplers are built on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "obs/mem.hpp"
+#include "obs/process.hpp"
+
+namespace rahtm::obs {
+namespace {
+
+constexpr std::int64_t kMb = 1024 * 1024;
+
+// All tests share the process-global registry; reset around each one so a
+// throwing budget test cannot pollute its neighbors.
+class MemTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MemRegistry::instance().resetForTest(); }
+  void TearDown() override { MemRegistry::instance().resetForTest(); }
+};
+
+TEST_F(MemTest, AccountNamesAreStable) {
+  // Ledger keys: renaming one is a schema change and must be deliberate.
+  EXPECT_STREQ(memAccountName(MemAccountId::RouteTable), "route_table");
+  EXPECT_STREQ(memAccountName(MemAccountId::FlowIncidence), "flow_incidence");
+  EXPECT_STREQ(memAccountName(MemAccountId::Simnet), "simnet");
+  EXPECT_STREQ(memAccountName(MemAccountId::Lp), "lp");
+  EXPECT_STREQ(memAccountName(MemAccountId::Mapper), "mapper");
+  EXPECT_STREQ(memAccountName(MemAccountId::Obs), "obs");
+  EXPECT_STREQ(memAccountName(MemAccountId::Other), "other");
+}
+
+TEST_F(MemTest, TrackUntrackDrivesCurrentAndPeak) {
+  MemRegistry& reg = MemRegistry::instance();
+  reg.track(MemAccountId::RouteTable, 100);
+  reg.track(MemAccountId::Simnet, 50);
+  EXPECT_EQ(reg.currentBytes(MemAccountId::RouteTable), 100);
+  EXPECT_EQ(reg.currentBytes(MemAccountId::Simnet), 50);
+  EXPECT_EQ(reg.totalCurrentBytes(), 150);
+  EXPECT_EQ(reg.totalPeakBytes(), 150);
+
+  reg.untrack(MemAccountId::RouteTable, 60);
+  EXPECT_EQ(reg.currentBytes(MemAccountId::RouteTable), 40);
+  EXPECT_EQ(reg.totalCurrentBytes(), 90);
+  // Peaks are monotone.
+  EXPECT_EQ(reg.peakBytes(MemAccountId::RouteTable), 100);
+  EXPECT_EQ(reg.totalPeakBytes(), 150);
+
+  // Zero/negative amounts are ignored, not tallied.
+  reg.track(MemAccountId::RouteTable, 0);
+  reg.track(MemAccountId::RouteTable, -5);
+  EXPECT_EQ(reg.currentBytes(MemAccountId::RouteTable), 40);
+}
+
+TEST_F(MemTest, DisabledRegistryIsANoOp) {
+  MemRegistry& reg = MemRegistry::instance();
+  reg.setEnabled(false);
+  reg.track(MemAccountId::Lp, 1000);
+  EXPECT_EQ(reg.totalCurrentBytes(), 0);
+  reg.setEnabled(true);
+  reg.track(MemAccountId::Lp, 10);
+  EXPECT_EQ(reg.totalCurrentBytes(), 10);
+}
+
+TEST_F(MemTest, PhasePeakResetsToCurrent) {
+  MemRegistry& reg = MemRegistry::instance();
+  reg.track(MemAccountId::Mapper, 100);
+  reg.untrack(MemAccountId::Mapper, 80);
+  EXPECT_EQ(reg.phasePeakBytes(), 100);
+  // The next phase starts from the live total, not from zero: bytes still
+  // resident are part of that phase's high-water mark too.
+  reg.resetPhasePeak();
+  EXPECT_EQ(reg.phasePeakBytes(), 20);
+  reg.track(MemAccountId::Mapper, 30);
+  EXPECT_EQ(reg.phasePeakBytes(), 50);
+}
+
+// ---- MemAccount RAII ------------------------------------------------------
+
+TEST_F(MemTest, AccountScopeReleasesOnDestruction) {
+  MemRegistry& reg = MemRegistry::instance();
+  {
+    MemAccount a(MemAccountId::Simnet, 64);
+    EXPECT_EQ(reg.currentBytes(MemAccountId::Simnet), 64);
+    a.set(200);  // grow: tracks the delta
+    EXPECT_EQ(reg.currentBytes(MemAccountId::Simnet), 200);
+    a.set(150);  // shrink: untracks the delta
+    EXPECT_EQ(reg.currentBytes(MemAccountId::Simnet), 150);
+    EXPECT_EQ(a.bytes(), 150);
+  }
+  EXPECT_EQ(reg.currentBytes(MemAccountId::Simnet), 0);
+  EXPECT_EQ(reg.peakBytes(MemAccountId::Simnet), 200);
+}
+
+TEST_F(MemTest, AccountCopyTracksTwiceMoveTransfers) {
+  MemRegistry& reg = MemRegistry::instance();
+  MemAccount a(MemAccountId::Lp, 100);
+  MemAccount b(a);  // two live copies => two tallies
+  EXPECT_EQ(reg.currentBytes(MemAccountId::Lp), 200);
+
+  MemAccount c(std::move(b));  // move transfers the tally
+  EXPECT_EQ(reg.currentBytes(MemAccountId::Lp), 200);
+  EXPECT_EQ(b.bytes(), 0);
+  EXPECT_EQ(c.bytes(), 100);
+}
+
+TEST_F(MemTest, AccountCopyAssignAcrossAccountsMovesTheTally) {
+  MemRegistry& reg = MemRegistry::instance();
+  MemAccount lp(MemAccountId::Lp, 100);
+  MemAccount rt(MemAccountId::RouteTable, 40);
+  // The old tally must return to the *old* account before the id changes.
+  rt = lp;
+  EXPECT_EQ(reg.currentBytes(MemAccountId::RouteTable), 0);
+  EXPECT_EQ(reg.currentBytes(MemAccountId::Lp), 200);
+  EXPECT_EQ(rt.account(), MemAccountId::Lp);
+  EXPECT_EQ(rt.bytes(), 100);
+}
+
+TEST_F(MemTest, TrackingAllocatorChargesContainerStorage) {
+  MemRegistry& reg = MemRegistry::instance();
+  {
+    std::vector<std::int64_t,
+                TrackingAllocator<std::int64_t, MemAccountId::Other>>
+        v;
+    v.reserve(1024);
+    EXPECT_EQ(reg.currentBytes(MemAccountId::Other), 1024 * 8);
+    v.assign(1024, 7);
+    EXPECT_EQ(reg.currentBytes(MemAccountId::Other), 1024 * 8);
+  }
+  EXPECT_EQ(reg.currentBytes(MemAccountId::Other), 0);
+  EXPECT_EQ(reg.peakBytes(MemAccountId::Other), 1024 * 8);
+}
+
+// ---- Budget escalation ----------------------------------------------------
+
+TEST_F(MemTest, BudgetEscalatesWarnThenDegradeThenFail) {
+  MemRegistry& reg = MemRegistry::instance();
+  reg.setBudgetBytes(10 * kMb);  // warn 8 MB, degrade 10 MB, fail 12.5 MB
+  EXPECT_EQ(reg.budgetStage(), 0);
+
+  // Shed-able ballast a degrade callback can return.
+  MemAccount ballast(MemAccountId::Other, 6 * kMb);
+  int shedCalls = 0;
+  reg.registerDegradeCallback("test-ballast", [&]() -> std::int64_t {
+    ++shedCalls;
+    const std::int64_t freed = ballast.bytes();
+    ballast.set(0);
+    return freed;
+  });
+
+  MemAccount work(MemAccountId::Mapper);
+  work.add(3 * kMb);  // total 9 MB: crosses 80%
+  EXPECT_EQ(reg.budgetStage(), 1);
+  EXPECT_EQ(shedCalls, 0);
+
+  work.add(2 * kMb);  // total 11 MB: crosses 100% -> degrade sheds 6 MB
+  EXPECT_EQ(reg.budgetStage(), 2);
+  EXPECT_EQ(shedCalls, 1);
+  EXPECT_EQ(reg.degradeInvocations(), 1);
+  EXPECT_EQ(ballast.bytes(), 0);
+  // Post-shed total (5 MB) is back under the FAIL rung: no throw.
+  EXPECT_EQ(reg.totalCurrentBytes(), 5 * kMb);
+
+  // Stages are monotone: re-crossing the degrade rung does not re-invoke.
+  work.add(6 * kMb);  // total 11 MB again
+  EXPECT_EQ(shedCalls, 1);
+
+  // Crossing 125% with nothing left to shed is fatal.
+  EXPECT_THROW(work.add(2 * kMb), MemBudgetError);
+  EXPECT_EQ(reg.budgetStage(), 3);
+}
+
+TEST_F(MemTest, FailErrorCarriesTheBreakdown) {
+  MemRegistry& reg = MemRegistry::instance();
+  reg.setBudgetBytes(1 * kMb);
+  try {
+    reg.track(MemAccountId::RouteTable, 2 * kMb);
+    FAIL() << "expected MemBudgetError";
+  } catch (const MemBudgetError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("route_table"), std::string::npos) << what;
+    EXPECT_NE(what.find("RAHTM_MEM_BUDGET_MB"), std::string::npos) << what;
+  }
+}
+
+TEST_F(MemTest, UnregisteredCallbackIsNotInvoked) {
+  MemRegistry& reg = MemRegistry::instance();
+  reg.setBudgetBytes(10 * kMb);
+  int calls = 0;
+  const int handle = reg.registerDegradeCallback(
+      "gone", [&]() -> std::int64_t { ++calls; return 0; });
+  reg.unregisterDegradeCallback(handle);
+  MemAccount work(MemAccountId::Mapper);
+  work.add(11 * kMb);  // warn then degrade in one jump
+  EXPECT_EQ(reg.budgetStage(), 2);
+  EXPECT_EQ(reg.degradeInvocations(), 1);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(MemTest, UnlimitedBudgetNeverEscalates) {
+  MemRegistry& reg = MemRegistry::instance();
+  MemAccount work(MemAccountId::Mapper);
+  work.add(64 * kMb);
+  EXPECT_EQ(reg.budgetStage(), 0);
+  EXPECT_EQ(reg.degradeInvocations(), 0);
+}
+
+// ---- RSS sampling + report ------------------------------------------------
+
+TEST_F(MemTest, SampleRssFoldsIntoPeak) {
+  MemRegistry& reg = MemRegistry::instance();
+  reg.sampleRss();
+#if defined(__linux__)
+  EXPECT_GT(reg.sampledRssBytes(), 0);
+  EXPECT_GE(reg.sampledRssPeakBytes(), reg.sampledRssBytes());
+  EXPECT_GT(reg.baselineRssBytes(), 0);
+#endif
+}
+
+TEST_F(MemTest, WriteReportNamesEveryAccount) {
+  MemRegistry& reg = MemRegistry::instance();
+  reg.track(MemAccountId::RouteTable, 3 * kMb);
+  std::ostringstream os;
+  reg.writeReport(os);
+  const std::string text = os.str();
+  for (int i = 0; i < kMemAccountCount; ++i) {
+    EXPECT_NE(text.find(memAccountName(static_cast<MemAccountId>(i))),
+              std::string::npos)
+        << text;
+  }
+  EXPECT_NE(text.find("accounted total"), std::string::npos);
+  EXPECT_NE(text.find("VmHWM"), std::string::npos);
+}
+
+// ---- /proc/self/status parsing (obs/process) ------------------------------
+
+TEST(ProcessStatus, ParsesKbLinesFromFixture) {
+  const char* fixture =
+      "Name:\trahtm_map\n"
+      "VmPeak:\t  123456 kB\n"
+      "VmHWM:\t   98304 kB\n"
+      "VmRSS:\t    65536 kB\n"
+      "Threads:\t4\n";
+  EXPECT_EQ(parseStatusKb(fixture, "VmHWM:"), 98304LL * 1024);
+  EXPECT_EQ(parseStatusKb(fixture, "VmRSS:"), 65536LL * 1024);
+}
+
+TEST(ProcessStatus, MissingKeyReadsZero) {
+  EXPECT_EQ(parseStatusKb("VmRSS:\t 12 kB\n", "VmHWM:"), 0);
+  EXPECT_EQ(parseStatusKb("", "VmHWM:"), 0);
+  EXPECT_EQ(parseStatusKb("VmRSS:\t 12 kB\n", ""), 0);
+}
+
+TEST(ProcessStatus, KeyMatchesOnlyAtLineStart) {
+  // "HWM:" is a suffix of the VmHWM line, not a key of its own.
+  EXPECT_EQ(parseStatusKb("VmHWM:\t 8 kB\n", "HWM:"), 0);
+  // A key buried mid-line must not match either.
+  EXPECT_EQ(parseStatusKb("Note: VmRSS: 9 kB here\nVmRSS:\t 4 kB\n",
+                          "VmRSS:"),
+            4 * 1024);
+}
+
+TEST(ProcessStatus, MalformedValuesReadZero) {
+  EXPECT_EQ(parseStatusKb("VmHWM:\tlots kB\n", "VmHWM:"), 0);
+  EXPECT_EQ(parseStatusKb("VmHWM:\n", "VmHWM:"), 0);
+  EXPECT_EQ(parseStatusKb("VmHWM:\t-32 kB\n", "VmHWM:"), 0);
+}
+
+TEST(ProcessStatus, LiveReadersAgreeWithProc) {
+#if defined(__linux__)
+  // A running gtest binary has a nonzero footprint, and the high-water
+  // mark can never be below the current residency.
+  EXPECT_GT(currentRssBytes(), 0);
+  EXPECT_GE(peakRssBytes(), currentRssBytes());
+#endif
+}
+
+}  // namespace
+}  // namespace rahtm::obs

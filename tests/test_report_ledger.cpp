@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -106,6 +108,58 @@ TEST(ReportLedger, GoldenSerialization) {
   EXPECT_EQ(toJson(sampleReport()), expected);
 }
 
+// The optional "mem" section (accounted-memory peaks next to VmHWM) sits
+// between "environment" and "records"; accounts serialize on one line in
+// the fixed MemAccountId order.
+TEST(ReportLedger, GoldenSerializationWithMemSection) {
+  RunReport report = sampleReport();
+  report.mem.present = true;
+  report.mem.accounts = {{"route_table", 1048576}, {"simnet", 524288}};
+  report.mem.accountedPeakBytes = 1572864;
+  report.mem.baselineRssBytes = 524288;
+  report.mem.peakRssBytes = 2621440;
+  report.mem.rssCoverage = 0.75;
+  const std::string text = toJson(report);
+  const char* expected = R"(  "mem": {
+    "accounts": {"route_table": 1048576, "simnet": 524288},
+    "accounted_peak_bytes": 1572864,
+    "baseline_rss_bytes": 524288,
+    "peak_rss_bytes": 2621440,
+    "rss_coverage": 0.75
+  },
+  "records": [)";
+  EXPECT_NE(text.find(expected), std::string::npos) << text;
+
+  // Schema-valid, and the section survives a parse → re-serialize cycle
+  // byte-for-byte (the reader preserves account order).
+  const JsonValue doc = obs::parseJson(text);
+  EXPECT_TRUE(obs::validateReportJson(doc).empty());
+  std::istringstream in(text);
+  const RunReport parsed = obs::readReport(in);
+  ASSERT_TRUE(parsed.mem.present);
+  ASSERT_EQ(parsed.mem.accounts.size(), 2u);
+  EXPECT_EQ(parsed.mem.accounts[0].first, "route_table");
+  EXPECT_EQ(parsed.mem.accounts[0].second, 1048576);
+  EXPECT_EQ(parsed.mem.accountedPeakBytes, 1572864);
+  EXPECT_EQ(parsed.mem.baselineRssBytes, 524288);
+  EXPECT_EQ(parsed.mem.peakRssBytes, 2621440);
+  EXPECT_DOUBLE_EQ(parsed.mem.rssCoverage, 0.75);
+  EXPECT_EQ(toJson(parsed), text);
+}
+
+TEST(ReportLedger, ValidatorRejectsMalformedMemSection) {
+  RunReport report = sampleReport();
+  report.mem.present = true;
+  report.mem.accounts = {{"route_table", 1}};
+  std::string text = toJson(report);
+  const std::string from = "\"accounted_peak_bytes\"";
+  text.replace(text.find(from), from.size(), "\"wrong_key\"");
+  const std::vector<std::string> problems =
+      obs::validateReportJson(obs::parseJson(text));
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("accounted_peak_bytes"), std::string::npos);
+}
+
 TEST(ReportLedger, RoundTrip) {
   const RunReport original = sampleReport();
   std::istringstream in(toJson(original));
@@ -167,6 +221,45 @@ TEST(ReportLedger, ReaderRejectsMalformedJson) {
   EXPECT_THROW(obs::readReport(in), ParseError);
 }
 
+// The parser consumes the whole input: a valid document followed by
+// anything but whitespace is an error, so a truncated/concatenated ledger
+// can never half-parse into a plausible-looking report.
+TEST(JsonReader, RejectsTrailingGarbage) {
+  EXPECT_THROW(obs::parseJson("{} x"), ParseError);
+  EXPECT_THROW(obs::parseJson("{\"a\": 1}{\"a\": 2}"), ParseError);
+  EXPECT_THROW(obs::parseJson("[1, 2],"), ParseError);
+  EXPECT_THROW(obs::parseJson("42 43"), ParseError);
+  EXPECT_NO_THROW(obs::parseJson(" {\"a\": 1} \n\t"));
+}
+
+// Every committed baseline must parse, and a parse → encode → parse cycle
+// must reach a fixed point: the second encode is byte-identical to the
+// first (double formatting may legitimately differ from the committed
+// bytes, but the reader and canonical writer must agree with each other on
+// the files CI actually gates on). Each reparse must also pass the gate
+// against its own source, so the round trip loses no metric precision.
+TEST(ReportLedger, CommittedBaselinesRoundTrip) {
+  const std::filesystem::path dir =
+      std::filesystem::path(RAHTM_SOURCE_DIR) / "bench" / "baseline";
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::size_t checked = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
+    ++checked;
+    const RunReport parsed = obs::readReportFile(entry.path().string());
+    const std::string encoded = toJson(parsed);
+    std::istringstream again(encoded);
+    const RunReport reparsed = obs::readReport(again);
+    EXPECT_EQ(toJson(reparsed), encoded) << entry.path();
+    EXPECT_TRUE(obs::validateReportJson(obs::parseJson(encoded)).empty())
+        << entry.path();
+    EXPECT_TRUE(
+        obs::compareReports(parsed, reparsed, obs::defaultThresholds()).pass())
+        << entry.path();
+  }
+  EXPECT_GE(checked, 4u);
+}
+
 // ---- Regression gate ------------------------------------------------------
 
 TEST(ReportCheck, IdenticalReportsPass) {
@@ -176,7 +269,31 @@ TEST(ReportCheck, IdenticalReportsPass) {
   EXPECT_TRUE(result.pass());
   EXPECT_EQ(result.regressions(), 0u);
   EXPECT_TRUE(result.problems.empty());
-  EXPECT_EQ(result.checks.size(), 8u);  // 2 records x 4 metrics
+  // 2 records x 4 metrics + the synthetic per-suite peak_rss_mb check.
+  EXPECT_EQ(result.checks.size(), 9u);
+}
+
+// The synthetic peak_rss_mb column gates process RSS from the environment
+// fingerprint, so it works against baselines that predate the mem section.
+TEST(ReportCheck, PeakRssRegressionTripsTheGate) {
+  const RunReport base = sampleReport();
+  RunReport cand = sampleReport();
+  cand.env.peakRssBytes =
+      static_cast<std::int64_t>(static_cast<double>(base.env.peakRssBytes) * 1.5);
+  const CheckResult result =
+      obs::compareReports(base, cand, obs::defaultThresholds());
+  EXPECT_FALSE(result.pass());
+  const auto& bad = *std::find_if(
+      result.checks.begin(), result.checks.end(),
+      [](const obs::MetricCheck& c) { return c.regression; });
+  EXPECT_EQ(bad.metric, "peak_rss_mb");
+  EXPECT_NEAR(bad.relDelta, 0.50, 1e-9);
+
+  // Within the 25% envelope: allocator/host noise passes.
+  cand.env.peakRssBytes =
+      static_cast<std::int64_t>(static_cast<double>(base.env.peakRssBytes) * 1.2);
+  EXPECT_TRUE(
+      obs::compareReports(base, cand, obs::defaultThresholds()).pass());
 }
 
 TEST(ReportCheck, PerturbationBeyondThresholdFails) {
@@ -289,6 +406,11 @@ TEST(Suites, SmokeSuiteProducesSchemaValidLedger) {
   EXPECT_TRUE(rahtm->has("hop_bytes"));
   EXPECT_TRUE(rahtm->has("map_seconds"));
 
+  // Every suite ledger now carries the accounted-memory section, and by
+  // smoke time the heavy owners have all reported something.
+  EXPECT_TRUE(report.mem.present);
+  EXPECT_GT(report.mem.accountedPeakBytes, 0);
+
   const JsonValue doc = obs::parseJson(toJson(report));
   EXPECT_TRUE(obs::validateReportJson(doc).empty());
 
@@ -354,6 +476,30 @@ TEST(HistogramQuantile, UniformValuesInterpolate) {
 TEST(HistogramQuantile, EmptyHistogramIsZero) {
   obs::MetricsRegistry reg;
   EXPECT_EQ(reg.histogram("empty", {1, 2}).quantile(0.5), 0);
+}
+
+// The overflow bucket has no upper edge, so estimates for mass beyond the
+// last bound must clamp to the observed max rather than extrapolate. Pins
+// the clamp so a histogram of (say) stall latencies can never report a p99
+// beyond anything it actually saw.
+TEST(HistogramQuantile, OverflowBucketClampsToObservedMax) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("ovf", {10, 20});
+  h.observe(5);
+  h.observe(1e9);  // far past the last bound
+  EXPECT_LE(h.quantile(0.99), 1e9);
+  EXPECT_LE(h.quantile(1.0), 1e9);
+  EXPECT_GE(h.quantile(0.99), 5);
+  EXPECT_LE(h.quantile(0.25), 10);  // low mass stays in its finite bucket
+
+  // Every observation in the overflow bucket: all quantiles live inside
+  // the observed [min, max], never at the (infinite) bucket edge.
+  obs::Histogram& h2 = reg.histogram("ovf_only", {1});
+  h2.observe(500);
+  h2.observe(700);
+  EXPECT_GE(h2.quantile(0.01), 500);
+  EXPECT_LE(h2.quantile(0.99), 700);
+  EXPECT_LE(h2.quantile(0.5), h2.quantile(0.95));
 }
 
 TEST(HistogramQuantile, SnapshotCarriesQuantilesAndProcessBlock) {
@@ -457,12 +603,19 @@ TEST(PhaseQuality, PipelineRecordsAllFourPhases) {
   EXPECT_EQ(pq[1].phase, "pin");
   EXPECT_EQ(pq[2].phase, "merge");
   EXPECT_EQ(pq[3].phase, "refine");
+  // Memory high-water marks are armed at each phase boundary; the pipeline
+  // builds tracked structures (route table, delta-eval state), so at least
+  // one phase must have recorded a nonzero accounted peak.
+  std::int64_t maxMemPeak = 0;
   for (const PhaseQuality& q : pq) {
     EXPECT_TRUE(std::isfinite(q.mcl));
     EXPECT_TRUE(std::isfinite(q.hopBytes));
     EXPECT_GE(q.mcl, 0);
     EXPECT_GE(q.hopBytes, 0);
+    EXPECT_GE(q.memPeakBytes, 0);
+    maxMemPeak = std::max(maxMemPeak, q.memPeakBytes);
   }
+  EXPECT_GT(maxMemPeak, 0);
   // Refinement only accepts improving swaps under the MCL objective, so the
   // final placement can never be worse than the merge incumbent.
   EXPECT_LE(pq[3].mcl, pq[2].mcl * (1 + 1e-9));

@@ -97,4 +97,27 @@ RAHTM_NODES=32 RAHTM_CONC=2 RAHTM_SIM_ITERS=1 \
 "$bench_bin" --validate "$bench_out/BENCH_simnet_micro.json"
 "$bench_bin" --baseline "$repo/bench/baseline/BENCH_simnet_micro.json" --check
 
-echo "==== CI passed (release + sanitize + tsan + bench-smoke + refine-micro + forensics + simnet-micro)"
+# Memory-accounting gate: per-subsystem accounted peaks are pure functions
+# of the workload (capacity-based accounting) and gated tight (5%); the
+# accounting overhead ratio carries the same <=2% budget as the forensics
+# layer (baseline pinned at 1.0, so the threshold reads as an absolute
+# budget). rss_coverage and the wall times ride along ungated.
+echo "==== [mem-micro] subsystem footprint + accounting overhead gate"
+RAHTM_NODES=32 RAHTM_CONC=2 RAHTM_SIM_ITERS=1 \
+  "$bench_bin" --suites mem_micro --out "$bench_out"
+"$bench_bin" --validate "$bench_out/BENCH_mem_micro.json"
+"$bench_bin" --baseline "$repo/bench/baseline/BENCH_mem_micro.json" --check
+
+# Leak gate: the smoke suite under the ASan tree with LSan on. The
+# registries are deliberately leaked singletons (crash handlers read them
+# during teardown) — LSan treats globals-reachable memory as live, so this
+# stage fails only on genuinely unreachable allocations.
+echo "==== [leak-gate] smoke suite under ASan+LSan"
+asan_bench="$repo/build-ci-sanitize/tools/rahtm_bench"
+leak_out="$repo/build-ci-sanitize/bench-smoke"
+mkdir -p "$leak_out"
+RAHTM_NODES=32 RAHTM_CONC=2 RAHTM_SIM_ITERS=1 \
+  ASAN_OPTIONS=detect_leaks=1 \
+  "$asan_bench" --suites smoke --out "$leak_out"
+
+echo "==== CI passed (release + sanitize + tsan + bench-smoke + refine-micro + forensics + simnet-micro + mem-micro + leak-gate)"

@@ -26,6 +26,7 @@
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "obs/json_reader.hpp"
+#include "obs/mem.hpp"
 #include "obs/postmortem.hpp"
 #include "obs/report.hpp"
 
@@ -40,11 +41,12 @@ int usage(const char* argv0) {
       << "                  [--thresholds metric=rel,...] [--out DIR]\n"
       << "       " << argv0 << " --validate FILE\n"
       << "       [--sim-threads N] [--sim-fidelity cycle|flow]\n"
+      << "       [--mem-report] [--mem-budget-mb N]\n"
       << "       [--trace-out FILE] [--trace-summary FILE] "
          "[--metrics-out FILE] [--postmortem-dir DIR] [--verbose]\n"
       << "\n"
       << "suites: table1, fig8, fig9, fig10, ablation_refine, refine_micro, "
-         "obs_overhead, simnet_micro, smoke\n"
+         "obs_overhead, simnet_micro, mem_micro, smoke\n"
       << "\n"
       << "Each suite writes BENCH_<suite>.json: a versioned ledger of the\n"
       << "suite's measured metrics (MCL, hop-bytes, simulated cycles,\n"
@@ -58,7 +60,11 @@ int usage(const char* argv0) {
       << "--validate accepts both rahtm.bench.report/v1 ledgers and\n"
       << "rahtm.postmortem/v1 artifacts (dispatched on the 'schema' key).\n"
       << "--postmortem-dir installs the crash/stall post-mortem handlers\n"
-      << "for the benchmark run itself (default RAHTM_POSTMORTEM_DIR).\n";
+      << "for the benchmark run itself (default RAHTM_POSTMORTEM_DIR).\n"
+      << "--mem-budget-mb N enforces the staged accounted-memory budget\n"
+      << "(overrides RAHTM_MEM_BUDGET_MB; warn 80% / degrade 100% / fail\n"
+      << "125%); --mem-report prints the per-subsystem memory table to\n"
+      << "stderr when the run finishes.\n";
   return 2;
 }
 
@@ -122,6 +128,11 @@ int runValidate(const std::string& path) {
 
 int main(int argc, char** argv) {
   try {
+    // Pin the memory registry's RSS baseline before any subsystem (recorder
+    // rings, telemetry buffers) allocates: rss_coverage measures growth
+    // past this point.
+    obs::MemRegistry::instance();
+
     const CliArgs args(argc, argv);
     if (args.has("help")) return usage(argv[0]);
     if (args.getBool("verbose")) setLogLevel(LogLevel::Info);
@@ -136,6 +147,14 @@ int main(int argc, char** argv) {
     std::string pmDir = args.getString("postmortem-dir", "");
     if (pmDir.empty()) pmDir = obs::postmortemDirFromEnv();
     obs::installPostmortem(pmDir);
+
+    // CLI override for the staged accounted-memory budget (otherwise the
+    // registry picked RAHTM_MEM_BUDGET_MB up at first use).
+    if (args.has("mem-budget-mb")) {
+      obs::MemRegistry::instance().setBudgetBytes(
+          args.getInt("mem-budget-mb", 0) * 1024 * 1024);
+    }
+    const bool memReport = args.getBool("mem-report");
 
     const std::string outDir = args.getString("out", ".");
 
@@ -158,6 +177,7 @@ int main(int argc, char** argv) {
           baseline, candidate,
           thresholdsFromFlag(args.getString("thresholds", "")));
       obs::printCheckResult(std::cout, result);
+      if (memReport) obs::MemRegistry::instance().writeReport(std::cerr);
       if (!args.getBool("check")) {
         // Comparison requested without gating: always exit 0.
         return 0;
@@ -191,6 +211,7 @@ int main(int argc, char** argv) {
                 << ")\n";
       writeLedger(bench::runSuite(suite, scale), outDir);
     }
+    if (memReport) obs::MemRegistry::instance().writeReport(std::cerr);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

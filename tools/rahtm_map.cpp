@@ -30,6 +30,7 @@
 #include "mapping/mapfile.hpp"
 #include "mapping/permutation.hpp"
 #include "mapping/rubik.hpp"
+#include "obs/mem.hpp"
 #include "obs/postmortem.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/watchdog.hpp"
@@ -64,6 +65,7 @@ int usage(const char* argv0) {
       << "          [--sim-threads N] [--sim-fidelity cycle|flow]\n"
       << "          [--watchdog-sec S] [--watchdog-phases name=S,...]\n"
       << "          [--watchdog-action log|dump|abort] [--no-watchdog]\n"
+      << "          [--mem-report] [--mem-budget-mb N]\n"
       << "\n"
       << "--threads N parallelizes the RAHTM compute phases over N threads\n"
       << "(0 = all hardware threads; the RAHTM_THREADS environment variable\n"
@@ -95,7 +97,12 @@ int usage(const char* argv0) {
       << "--postmortem-dir (default RAHTM_POSTMORTEM_DIR or '.'). The\n"
       << "RAHTM_WATCHDOG_* environment variables are fallbacks for the\n"
       << "watchdog flags; RAHTM_RECORDER/RAHTM_HEARTBEATS=off disable the\n"
-      << "recorder/heartbeats.\n";
+      << "recorder/heartbeats.\n"
+      << "\n"
+      << "Memory: --mem-budget-mb N enforces the staged accounted-memory\n"
+      << "budget (overrides RAHTM_MEM_BUDGET_MB; warn 80% / degrade 100% /\n"
+      << "fail 125% — see obs/mem.hpp); --mem-report prints the\n"
+      << "per-subsystem peak table to stderr before exit.\n";
   return 2;
 }
 
@@ -103,6 +110,11 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   try {
+    // Pin the memory registry's RSS baseline before any subsystem (recorder
+    // rings, telemetry buffers) allocates: rss_coverage measures growth
+    // past this point.
+    obs::MemRegistry::instance();
+
     const CliArgs args(argc, argv);
     if (args.has("help") || !args.has("machine")) return usage(argv[0]);
     if (args.getBool("verbose")) setLogLevel(LogLevel::Info);
@@ -154,6 +166,13 @@ int main(int argc, char** argv) {
     if (args.getBool("no-watchdog")) wd.enabled = false;
     obs::Watchdog watchdog(wd);
     watchdog.start();
+
+    // ---- Memory accounting (always on; see obs/mem.hpp) -------------------
+    if (args.has("mem-budget-mb")) {
+      obs::MemRegistry::instance().setBudgetBytes(
+          args.getInt("mem-budget-mb", 0) * 1024 * 1024);
+    }
+    const bool memReport = args.getBool("mem-report");
 
     const Torus machine = Torus::torus(parseShape(args.getString("machine", "")));
     const int concentration =
@@ -325,6 +344,10 @@ int main(int argc, char** argv) {
       if (!tele.metricsOutPath.empty()) {
         std::cerr << "  wrote " << tele.metricsOutPath << "\n";
       }
+    }
+    if (memReport) {
+      obs::MemRegistry::instance().sampleRss();
+      obs::MemRegistry::instance().writeReport(std::cerr);
     }
     flushGuard.armed = false;
     return 0;
