@@ -488,41 +488,86 @@ obs::RunReport suiteMemMicro(const ExperimentScale& scale) {
   return report;
 }
 
-obs::RunReport dispatchSuite(const std::string& name,
-                             const ExperimentScale& scale) {
-  if (name == "table1") return suiteTable1(scale);
-  if (name == "fig8") {
-    return suiteStudy("fig8", {"BT", "SP", "CG"}, scale, /*overall=*/true);
-  }
-  if (name == "fig9") return suiteFig9(scale);
-  if (name == "fig10") {
-    return suiteStudy("fig10", {"BT", "SP", "CG"}, scale, /*overall=*/false);
-  }
-  if (name == "ablation_refine") return suiteAblationRefine(scale);
-  if (name == "refine_micro") return suiteRefineMicro(scale);
-  if (name == "obs_overhead") return suiteObsOverhead(scale);
-  if (name == "simnet_micro") return suiteSimnetMicro(scale);
-  if (name == "mem_micro") return suiteMemMicro(scale);
-  if (name == "smoke") {
-    return suiteStudy("smoke", {"CG"}, scale, /*overall=*/false);
-  }
-  throw ParseError("unknown suite '" + name + "' (known: table1, fig8, fig9, "
-                   "fig10, ablation_refine, refine_micro, obs_overhead, "
-                   "simnet_micro, mem_micro, smoke)");
+obs::RunReport suiteFig8(const ExperimentScale& scale) {
+  return suiteStudy("fig8", {"BT", "SP", "CG"}, scale, /*overall=*/true);
 }
+
+obs::RunReport suiteFig10(const ExperimentScale& scale) {
+  return suiteStudy("fig10", {"BT", "SP", "CG"}, scale, /*overall=*/false);
+}
+
+obs::RunReport suiteSmoke(const ExperimentScale& scale) {
+  return suiteStudy("smoke", {"CG"}, scale, /*overall=*/false);
+}
+
+// ---- Suite registry -------------------------------------------------------
+
+struct SuiteEntry {
+  std::string name;
+  int order = 0;
+  SuiteFn fn = nullptr;
+};
+
+/// Meyers singleton so cross-TU registrars never race static-init order.
+std::vector<SuiteEntry>& suiteRegistry() {
+  static std::vector<SuiteEntry> registry;
+  return registry;
+}
+
+// The paper roster, at the canonical 10..100 positions (extension suites
+// registered from their own translation units slot in between).
+const SuiteRegistrar kCoreSuites[] = {
+    {"table1", 10, suiteTable1},
+    {"fig8", 20, suiteFig8},
+    {"fig9", 30, suiteFig9},
+    {"fig10", 40, suiteFig10},
+    {"ablation_refine", 50, suiteAblationRefine},
+    {"refine_micro", 60, suiteRefineMicro},
+    {"obs_overhead", 70, suiteObsOverhead},
+    {"simnet_micro", 80, suiteSimnetMicro},
+    {"mem_micro", 90, suiteMemMicro},
+    {"smoke", 100, suiteSmoke},
+};
 
 }  // namespace
 
+SuiteRegistrar::SuiteRegistrar(std::string name, int order, SuiteFn fn) {
+  RAHTM_REQUIRE(fn != nullptr, "suite '" + name + "' registered null body");
+  auto& registry = suiteRegistry();
+  for (const SuiteEntry& e : registry) {
+    RAHTM_REQUIRE(e.name != name, "duplicate suite '" + name + "'");
+  }
+  registry.push_back({std::move(name), order, fn});
+  std::sort(registry.begin(), registry.end(),
+            [](const SuiteEntry& a, const SuiteEntry& b) {
+              return a.order != b.order ? a.order < b.order : a.name < b.name;
+            });
+}
+
 std::vector<std::string> knownSuites() {
-  return {"table1",       "fig8",         "fig9",
-          "fig10",        "ablation_refine", "refine_micro",
-          "obs_overhead", "simnet_micro", "mem_micro",
-          "smoke"};
+  std::vector<std::string> names;
+  names.reserve(suiteRegistry().size());
+  for (const SuiteEntry& e : suiteRegistry()) names.push_back(e.name);
+  return names;
 }
 
 obs::RunReport runSuite(const std::string& name,
                         const ExperimentScale& scale) {
-  obs::RunReport report = dispatchSuite(name, scale);
+  SuiteFn fn = nullptr;
+  for (const SuiteEntry& e : suiteRegistry()) {
+    if (e.name == name) {
+      fn = e.fn;
+      break;
+    }
+  }
+  if (fn == nullptr) {
+    std::string known;
+    for (const std::string& n : knownSuites()) {
+      known += known.empty() ? n : (", " + n);
+    }
+    throw ParseError("unknown suite '" + name + "' (known: " + known + ")");
+  }
+  obs::RunReport report = fn(scale);
   // Suite boundary: fold the current VmRSS into the sampled peak (the
   // watchdog only samples while its poll thread runs), then snapshot the
   // accounting into the ledger's mem section. Peaks are process-wide, so

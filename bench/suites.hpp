@@ -14,9 +14,22 @@
 
 namespace rahtm::bench {
 
-/// All suite names runSuite accepts, in canonical order:
-/// table1, fig8, fig9, fig10, ablation_refine, refine_micro, obs_overhead,
-/// simnet_micro, mem_micro, smoke.
+/// A ledger-producing suite body.
+using SuiteFn = obs::RunReport (*)(const ExperimentScale&);
+
+/// Self-registration hook: a namespace-scope SuiteRegistrar in a suite's
+/// translation unit adds it to the roster at static-initialization time —
+/// no central dispatch ladder to edit. \p order fixes the position in the
+/// canonical knownSuites() listing (ties break by name); the paper suites
+/// use 10..100, extension suites slot in between.
+class SuiteRegistrar {
+ public:
+  SuiteRegistrar(std::string name, int order, SuiteFn fn);
+};
+
+/// All registered suite names, in canonical (order, name) order. The core
+/// roster: table1, fig8, fig9, fig10, ablation_refine, refine_micro,
+/// obs_overhead, simnet_micro, mem_micro, serve, smoke.
 std::vector<std::string> knownSuites();
 
 /// Run one suite at the given scale and return its ledger. The report's

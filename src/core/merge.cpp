@@ -249,10 +249,19 @@ MergeResult mergeChildren(const Torus& regionTopo, const Shape& childShape,
 
   LoadDelta delta(regionTopo.numChannelSlots());
   // Flat SoA route cache (shared engine infrastructure); built lazily —
-  // one region call is single-threaded.
+  // one region call is single-threaded. A provider-supplied complete table
+  // (cross-request cache) short-circuits the lazy build; route contents are
+  // identical either way.
+  std::shared_ptr<const RouteTable> sharedRoutes;
+  if (cfg.artifacts != nullptr && useLoads &&
+      RouteTable::fullBuildFeasible(regionTopo)) {
+    sharedRoutes = cfg.artifacts->routeTable(regionTopo);
+  }
   RouteTable routeTable(regionTopo);
   const auto forFlow = [&](NodeId src, NodeId dst, double volume, auto&& sink) {
-    const RouteTable::Span r = routeTable.get(src, dst);
+    const RouteTable::Span r = sharedRoutes != nullptr
+                                   ? sharedRoutes->find(src, dst)
+                                   : routeTable.get(src, dst);
     for (std::size_t i = 0; i < r.size; ++i) {
       sink(r.channels[i], volume * r.fracs[i]);
     }

@@ -48,6 +48,9 @@ struct MergeConfig {
   int maxRepositionSlots = 7;
   long maxOrientations = 1024;    ///< deterministic subsample cap
   MapObjective objective = MapObjective::Mcl;
+  /// Optional provider of shared route tables (non-owning; must outlive the
+  /// call). Null = build the region's route cache locally.
+  ArtifactSource* artifacts = nullptr;
 };
 
 struct MergeResult {

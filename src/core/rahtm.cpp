@@ -11,6 +11,7 @@
 #include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "routing/delta_eval.hpp"
 #include "routing/evaluator.hpp"
 #include "routing/oblivious.hpp"
 
@@ -278,6 +279,12 @@ Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
   exec::ThreadPool pool(config_.numThreads);
   total.attr("threads", static_cast<std::int64_t>(pool.numThreads()));
 
+  // Propagate the shared-artifact provider into every phase config before
+  // the pipeline snapshots them.
+  config_.subproblem.artifacts = config_.artifacts;
+  config_.merge.artifacts = config_.artifacts;
+  config_.refine.artifacts = config_.artifacts;
+
   Pipeline pipe(config_, graph, topo, concentration, rankGrid, &stats_);
 
   // Quality attribution baseline: the canonical (identity) cluster
@@ -366,7 +373,10 @@ Mapping RahtmMapper::map(const CommGraph& graph, const Torus& topo,
     if (config_.canonicalSeed) {
       // Lexicographic comparison under the active objective.
       bool canonicalWins;
-      MclEvaluator evaluator(topo);
+      MclEvaluator evaluator =
+          (config_.artifacts != nullptr && RouteTable::fullBuildFeasible(topo))
+              ? MclEvaluator(topo, config_.artifacts->routeTable(topo))
+              : MclEvaluator(topo);
       if (rcfg.objective == MapObjective::Mcl) {
         const auto sm = evaluator.summarize(clusterGraph, nodeOfCluster);
         const auto sc = evaluator.summarize(clusterGraph, canonical);

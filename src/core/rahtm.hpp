@@ -42,6 +42,12 @@ struct RahtmConfig {
   /// bit-identical for every value (see exec/thread_pool.hpp for the
   /// determinism contract).
   int numThreads = 1;
+  /// Optional provider of shared per-topology artifacts (route tables, flow
+  /// incidences), propagated into every phase config. Non-owning; must
+  /// outlive map(). Null = each phase builds its own (the one-shot CLI
+  /// behavior). Shared artifacts are content-identical to local builds, so
+  /// mappings stay bit-identical.
+  ArtifactSource* artifacts = nullptr;
 };
 
 /// Timing and accounting for the §V-B optimization-time experiment.

@@ -74,7 +74,16 @@ RefineResult refineImpl(const Torus& topo, const CommGraph& clusterGraph,
   DeltaEvalConfig ecfg;
   ecfg.trackLoads = !hopBytes;
   ecfg.trackHopBytes = hopBytes;
-  DeltaPlacementEval eval(topo, clusterGraph, nodeOfCluster, ecfg);
+  std::shared_ptr<const RouteTable> routes;
+  std::shared_ptr<const FlowIncidence> incidence;
+  if (cfg.artifacts != nullptr) {
+    if (ecfg.trackLoads && RouteTable::fullBuildFeasible(topo)) {
+      routes = cfg.artifacts->routeTable(topo);
+    }
+    incidence = cfg.artifacts->flowIncidence(clusterGraph);
+  }
+  DeltaPlacementEval eval(topo, clusterGraph, nodeOfCluster, ecfg, routes,
+                          incidence);
 
   double curMax = eval.mcl();
   double curSq = eval.sumSquares();

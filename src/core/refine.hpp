@@ -49,6 +49,9 @@ struct RefineConfig {
   /// the exhaustive n^2/2 scan costs minutes per mapping even with
   /// delta-evaluated probes.
   int autoPruneThreshold = 96;
+  /// Optional provider of shared route tables / flow incidences (non-owning;
+  /// must outlive the call). Null = build artifacts locally.
+  ArtifactSource* artifacts = nullptr;
 };
 
 struct RefineResult {

@@ -84,8 +84,15 @@ SubproblemSolution annealSearch(const CommGraph& g, const Torus& cube,
   ecfg.trackHopBytes = cfg.objective == MapObjective::HopBytes;
   std::shared_ptr<const RouteTable> routes;
   if (ecfg.trackLoads && RouteTable::fullBuildFeasible(cube)) {
-    routes = RouteTable::buildFull(cube);
+    routes = cfg.artifacts != nullptr ? cfg.artifacts->routeTable(cube)
+                                      : RouteTable::buildFull(cube);
   }
+  // One incidence for all restarts (content-deterministic, so sharing keeps
+  // results bit-identical to per-restart builds).
+  const std::shared_ptr<const FlowIncidence> incidence =
+      cfg.artifacts != nullptr
+          ? cfg.artifacts->flowIncidence(g)
+          : std::make_shared<const FlowIncidence>(buildFlowIncidence(g));
 
   struct RestartResult {
     double objective = std::numeric_limits<double>::infinity();
@@ -107,7 +114,8 @@ SubproblemSolution annealSearch(const CommGraph& g, const Torus& cube,
                                   nodesPerm.begin() + static_cast<long>(verts));
     std::vector<NodeId> empty(nodesPerm.begin() + static_cast<long>(verts),
                               nodesPerm.end());
-    DeltaPlacementEval state(cube, g, std::move(placement), ecfg, routes);
+    DeltaPlacementEval state(cube, g, std::move(placement), ecfg, routes,
+                             incidence);
     const auto curObj = [&] {
       return ecfg.trackLoads ? state.mcl() : state.hopBytes();
     };

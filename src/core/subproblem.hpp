@@ -19,6 +19,8 @@ namespace exec {
 class ThreadPool;
 }
 
+class ArtifactSource;  // routing/delta_eval.hpp
+
 /// Hard feasibility cap for exhaustiveSearch: 9! = 362880 placements.
 /// dispatchSubproblem clamps SubproblemConfig::exhaustiveMaxVerts to this
 /// (with a warning) instead of letting a mid-pipeline solve abort.
@@ -41,6 +43,11 @@ struct SubproblemConfig {
   long annealIters = 20000;
   std::uint64_t seed = 0x5eed;
   MapObjective objective = MapObjective::Mcl;
+  /// Optional provider of shared route tables / flow incidences (non-owning;
+  /// must outlive the solve). Null = build artifacts locally. Shared
+  /// artifacts are content-identical to locally built ones, so results stay
+  /// bit-identical either way.
+  ArtifactSource* artifacts = nullptr;
 };
 
 struct SubproblemSolution {

@@ -132,6 +132,9 @@ class FlowIncidence {
     return inc;
   }
 
+  /// Bytes currently charged to the flow_incidence account for this CSR.
+  std::int64_t footprintBytes() const { return mem_.bytes(); }
+
  private:
   std::vector<std::size_t> offsets_;     ///< size numBuckets + 1
   std::vector<std::uint32_t> flowIds_;

@@ -39,6 +39,15 @@ class Mapping {
   /// Ranks placed on \p node, ordered by slot.
   std::vector<RankId> ranksOnNode(NodeId node) const;
 
+  /// Exact (node AND slot) equality — the bit-identity the serve layer's
+  /// determinism gates compare.
+  friend bool operator==(const Mapping& a, const Mapping& b) {
+    return a.nodes_ == b.nodes_ && a.slots_ == b.slots_;
+  }
+  friend bool operator!=(const Mapping& a, const Mapping& b) {
+    return !(a == b);
+  }
+
  private:
   std::vector<NodeId> nodes_;
   std::vector<int> slots_;

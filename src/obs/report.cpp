@@ -369,6 +369,25 @@ ThresholdMap defaultThresholds() {
       {"sim_speedup", inf},
       {"flow_seconds", inf},
       {"flow_speedup_vs_cycle", inf},
+      // Serve suite (bench/suites_serve.cpp). The correctness counters have
+      // committed baselines of 0 (served-vs-one-shot mapping divergence,
+      // cache-warm requests that still rebuilt artifacts): any nonzero is a
+      // hard failure. Latency/throughput and the cache traffic counters are
+      // host- and wave-timing-dependent: reported, never gated.
+      {"served_determinism_mismatches", 0.0},
+      {"warm_route_misses", 0.0},
+      {"warm_incidence_misses", 0.0},
+      {"requests_per_sec", inf},
+      {"latency_p50_sec", inf},
+      {"latency_p95_sec", inf},
+      {"latency_p99_sec", inf},
+      {"queue_sec", inf},
+      {"solve_sec", inf},
+      {"cache_route_hits", inf},
+      {"cache_route_misses", inf},
+      {"cache_incidence_hits", inf},
+      {"cache_incidence_misses", inf},
+      {"cache_bytes", inf},
   };
 }
 

@@ -39,7 +39,7 @@ inline std::uint64_t pairKey(NodeId src, NodeId dst) {
 
 // ---- RouteTable -----------------------------------------------------------
 
-RouteTable::RouteTable(const Torus& topo) : topo_(&topo) {
+RouteTable::RouteTable(const Torus& topo) : topo_(topo) {
   denseIndex_ = topo.numNodes() <= kDenseIndexNodeCap;
   if (denseIndex_) {
     dense_.resize(static_cast<std::size_t>(topo.numNodes() * topo.numNodes()));
@@ -63,7 +63,7 @@ void RouteTable::accountBytes() {
 RouteTable::Slice& RouteTable::sliceOf(NodeId src, NodeId dst) {
   if (denseIndex_) {
     return dense_[static_cast<std::size_t>(
-        static_cast<std::int64_t>(src) * topo_->numNodes() + dst)];
+        static_cast<std::int64_t>(src) * topo_.numNodes() + dst)];
   }
   return sparse_[pairKey(src, dst)];
 }
@@ -71,7 +71,7 @@ RouteTable::Slice& RouteTable::sliceOf(NodeId src, NodeId dst) {
 const RouteTable::Slice* RouteTable::findSlice(NodeId src, NodeId dst) const {
   if (denseIndex_) {
     return &dense_[static_cast<std::size_t>(
-        static_cast<std::int64_t>(src) * topo_->numNodes() + dst)];
+        static_cast<std::int64_t>(src) * topo_.numNodes() + dst)];
   }
   const auto it = sparse_.find(pairKey(src, dst));
   return it == sparse_.end() ? nullptr : &it->second;
@@ -83,7 +83,7 @@ RouteTable::Span RouteTable::get(NodeId src, NodeId dst) {
     RAHTM_REQUIRE(!complete_, "RouteTable: miss on a complete table");
     s.start = static_cast<std::int64_t>(channels_.size());
     forEachUniformMinimalLoad(
-        *topo_, topo_->coordOf(src), topo_->coordOf(dst), 1.0,
+        topo_, topo_.coordOf(src), topo_.coordOf(dst), 1.0,
         [this](ChannelId c, double frac) {
           channels_.push_back(c);
           fracs_.push_back(frac);
@@ -104,7 +104,7 @@ RouteTable::Span RouteTable::find(NodeId src, NodeId dst) const {
 }
 
 void RouteTable::buildAll() {
-  const NodeId n = static_cast<NodeId>(topo_->numNodes());
+  const NodeId n = static_cast<NodeId>(topo_.numNodes());
   for (NodeId s = 0; s < n; ++s) {
     for (NodeId d = 0; d < n; ++d) get(s, d);
   }
@@ -126,13 +126,20 @@ std::shared_ptr<const RouteTable> RouteTable::buildFull(const Torus& topo) {
 
 DeltaPlacementEval::DeltaPlacementEval(
     const Torus& topo, const CommGraph& graph, std::vector<NodeId> placement,
-    Config cfg, std::shared_ptr<const RouteTable> routes)
+    Config cfg, std::shared_ptr<const RouteTable> routes,
+    std::shared_ptr<const FlowIncidence> incidence)
     : topo_(&topo),
       graph_(&graph),
       cfg_(cfg),
       placement_(std::move(placement)),
-      incidence_(buildFlowIncidence(graph)),
+      sharedIncidence_(std::move(incidence)),
       sharedRoutes_(std::move(routes)) {
+  if (sharedIncidence_ != nullptr) {
+    incidence_ = sharedIncidence_.get();
+  } else {
+    ownIncidence_ = buildFlowIncidence(graph);
+    incidence_ = &ownIncidence_;
+  }
   RAHTM_REQUIRE(
       placement_.size() >= static_cast<std::size_t>(graph.numRanks()),
       "DeltaPlacementEval: placement too small");
@@ -267,11 +274,11 @@ void DeltaPlacementEval::probeFlows(RankId a, RankId b, NodeId nodeA,
                  f.bytes * static_cast<double>(topo_->distance(u0, v0));
     }
   };
-  for (const std::uint32_t fi : incidence_.of(static_cast<std::size_t>(a))) {
+  for (const std::uint32_t fi : incidence_->of(static_cast<std::size_t>(a))) {
     processFlow(flows[fi]);
   }
   if (b != kInvalidRank) {
-    for (const std::uint32_t fi : incidence_.of(static_cast<std::size_t>(b))) {
+    for (const std::uint32_t fi : incidence_->of(static_cast<std::size_t>(b))) {
       const Flow& f = flows[fi];
       // Flows between a and b were already handled in a's list.
       if (f.src == a || f.dst == a) continue;

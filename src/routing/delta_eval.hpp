@@ -58,7 +58,7 @@ class RouteTable {
  public:
   explicit RouteTable(const Torus& topo);
 
-  const Torus& topology() const { return *topo_; }
+  const Torus& topology() const { return topo_; }
 
   /// Parallel views into the channel / fraction arrays of one route.
   struct Span {
@@ -88,6 +88,9 @@ class RouteTable {
 
   std::size_t entryCount() const { return channels_.size(); }
 
+  /// Bytes currently charged to the route_table account for this table.
+  std::int64_t footprintBytes() const { return mem_.bytes(); }
+
  private:
   struct Slice {
     std::int64_t start = -1;  ///< -1: not built yet
@@ -99,7 +102,9 @@ class RouteTable {
   /// based, so it only moves — and only then touches atomics — on growth).
   void accountBytes();
 
-  const Torus* topo_;
+  /// Owned copy: a shared table (artifact cache) must stay valid after the
+  /// caller's topology object is gone.
+  Torus topo_;
   bool complete_ = false;
   /// Dense pair index (src * numNodes + dst) when the topology is small
   /// enough; hash-map fallback above kDenseIndexNodeCap nodes.
@@ -110,6 +115,23 @@ class RouteTable {
   std::vector<ChannelId> channels_;
   std::vector<double> fracs_;
   obs::MemAccount mem_{obs::MemAccountId::RouteTable};
+};
+
+/// Provider of immutable, shareable per-topology / per-graph artifacts.
+/// The solver phases take a non-owning pointer (null = build locally, the
+/// historical behavior); a cross-request cache implements this to amortize
+/// `RouteTable::buildFull` and `buildFlowIncidence` across solves. Returned
+/// objects are complete and read-only, so sharing them across threads is
+/// safe and the consumer's arithmetic is bit-identical to a local build.
+class ArtifactSource {
+ public:
+  virtual ~ArtifactSource() = default;
+  /// A complete (eagerly built) route table for \p topo. Only called when
+  /// RouteTable::fullBuildFeasible(topo); never returns null.
+  virtual std::shared_ptr<const RouteTable> routeTable(const Torus& topo) = 0;
+  /// The per-vertex flow incidence of \p graph; never returns null.
+  virtual std::shared_ptr<const FlowIncidence> flowIncidence(
+      const CommGraph& graph) = 0;
 };
 
 struct DeltaEvalConfig {
@@ -139,9 +161,12 @@ class DeltaPlacementEval {
 
   /// \p routes: optional complete table shared read-only (e.g. across
   /// annealing restarts); the engine builds its own lazy table when null.
+  /// \p incidence: optional pre-built incidence of \p graph's flows over its
+  /// vertices, shared read-only; the engine builds its own when null.
   DeltaPlacementEval(const Torus& topo, const CommGraph& graph,
                      std::vector<NodeId> placement, Config cfg = {},
-                     std::shared_ptr<const RouteTable> routes = nullptr);
+                     std::shared_ptr<const RouteTable> routes = nullptr,
+                     std::shared_ptr<const FlowIncidence> incidence = nullptr);
 
   const Torus& topology() const { return *topo_; }
   const std::vector<NodeId>& placement() const { return placement_; }
@@ -188,7 +213,9 @@ class DeltaPlacementEval {
   const CommGraph* graph_;
   Config cfg_;
   std::vector<NodeId> placement_;
-  FlowIncidence incidence_;
+  FlowIncidence ownIncidence_;  ///< built locally when no shared incidence
+  std::shared_ptr<const FlowIncidence> sharedIncidence_;
+  const FlowIncidence* incidence_ = nullptr;  ///< shared or own
 
   std::shared_ptr<const RouteTable> sharedRoutes_;
   std::unique_ptr<RouteTable> ownRoutes_;

@@ -1,0 +1,123 @@
+#pragma once
+/// \file artifact_cache.hpp
+/// Cross-request cache of the solver's immutable per-topology artifacts.
+///
+/// The delta engine made the expensive derived state — eagerly built
+/// `RouteTable`s and CSR `FlowIncidence`s — complete-then-immutable, so it
+/// is safe to share read-only across threads. This cache implements
+/// `ArtifactSource` on top of that discipline: concurrent mapping requests
+/// for the same topology (or the same communication graph) get the same
+/// `shared_ptr<const ...>` instead of rebuilding, and the first request for
+/// a key builds exactly once (later arrivals block on a shared future).
+///
+/// Keying:
+///  * route tables — the canonical topology fingerprint (shape + per-dim
+///    wrap flags, e.g. "4x4x4x2/wwww"), which is exactly the state a
+///    `RouteTable` is a function of;
+///  * flow incidences — a 64-bit FNV-1a content hash of (numRanks, flows),
+///    with the flow vector stored per entry and compared exactly on lookup,
+///    so hash collisions chain instead of aliasing.
+///
+/// Eviction is LRU by accounted bytes: past `maxBytes` the least-recently
+/// used completed entry is *forgotten* (live `shared_ptr` holders keep the
+/// object alive; the cache just stops handing it out). The cache also
+/// registers a `src/obs/mem` DEGRADE callback that drops everything, so a
+/// memory-budget breach sheds the cache before the run fails. Cached
+/// objects self-account under the existing route_table / flow_incidence
+/// accounts; no new account is introduced.
+///
+/// Observability: hit/miss/eviction counters are mirrored into the metrics
+/// registry as `rahtm.serve.cache.*` when one is installed.
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/comm_graph.hpp"
+#include "routing/delta_eval.hpp"
+#include "topology/torus.hpp"
+
+namespace rahtm::serve {
+
+struct ArtifactCacheConfig {
+  /// LRU budget over the cached objects' accounted footprints (route-table
+  /// arenas + incidence CSRs + the stored verification flow vectors).
+  std::int64_t maxBytes = 256ll * 1024 * 1024;
+  /// Register a drop-everything DEGRADE callback on the global MemRegistry
+  /// (unregistered in the destructor).
+  bool registerDegrade = true;
+};
+
+/// Monotonic counters plus the current resident footprint.
+struct ArtifactCacheStats {
+  std::int64_t routeHits = 0;
+  std::int64_t routeMisses = 0;
+  std::int64_t incidenceHits = 0;
+  std::int64_t incidenceMisses = 0;
+  std::int64_t evictions = 0;
+  std::int64_t bytes = 0;
+};
+
+class ArtifactCache final : public ArtifactSource {
+ public:
+  explicit ArtifactCache(ArtifactCacheConfig cfg = {});
+  ~ArtifactCache() override;
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  /// ArtifactSource: shared complete route table for \p topo. Blocks while
+  /// another thread builds the same key; builds (once) on a cold key.
+  std::shared_ptr<const RouteTable> routeTable(const Torus& topo) override;
+
+  /// ArtifactSource: shared flow incidence of \p graph (exact content
+  /// match; hash collisions are resolved by comparing the flows).
+  std::shared_ptr<const FlowIncidence> flowIncidence(
+      const CommGraph& graph) override;
+
+  /// Canonical topology fingerprint, e.g. "4x4x4x2/wwww" ('w' wrap,
+  /// '-' no wrap per dimension).
+  static std::string topologyKey(const Torus& topo);
+
+  ArtifactCacheStats stats() const;
+
+  /// Forget every entry (the DEGRADE path); returns the bytes released
+  /// from the cache's tally. In-use artifacts stay alive via their
+  /// shared_ptrs and simply stop being shared with future requests.
+  std::int64_t dropAll();
+
+ private:
+  struct RouteEntry {
+    std::shared_future<std::shared_ptr<const RouteTable>> future;
+    std::int64_t bytes = 0;  ///< 0 until the build completes
+    std::uint64_t lastUse = 0;
+  };
+  struct IncidenceEntry {
+    RankId ranks = 0;
+    std::vector<Flow> flows;  ///< exact key (collision verification)
+    std::shared_future<std::shared_ptr<const FlowIncidence>> future;
+    std::int64_t bytes = 0;
+    std::uint64_t lastUse = 0;
+  };
+
+  /// Evict completed LRU entries until the tally fits maxBytes. Caller
+  /// holds mu_.
+  void evictLocked();
+  void noteMetrics() const;
+
+  const ArtifactCacheConfig cfg_;
+  int degradeHandle_ = -1;
+
+  mutable std::mutex mu_;
+  std::uint64_t tick_ = 0;  ///< LRU clock
+  std::int64_t totalBytes_ = 0;
+  std::unordered_map<std::string, RouteEntry> routes_;
+  /// Content-hash chains: every entry under a hash is compared exactly.
+  std::unordered_map<std::uint64_t, std::vector<IncidenceEntry>> incidences_;
+  ArtifactCacheStats stats_;
+};
+
+}  // namespace rahtm::serve

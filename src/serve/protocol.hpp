@@ -1,0 +1,54 @@
+#pragma once
+/// \file protocol.hpp
+/// The daemon's newline-delimited JSON wire protocol.
+///
+/// One request per line, one response line per request, in both the Unix
+/// socket and the stdin batch transports. Requests carry the schema
+/// `rahtm.serve.request/v1`; responses `rahtm.serve.response/v1` and embed
+/// a `rahtm.bench.report/v1`-style ledger fragment (a single
+/// benchmark/mapper/metrics record) so response streams can be gated with
+/// the same tooling as suite ledgers. Parsing reuses obs/json_reader;
+/// encoding reuses obs/json. Responses are written with a fixed key order
+/// so they diff cleanly.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace rahtm::obs {
+struct JsonValue;
+}
+
+namespace rahtm::serve {
+
+inline constexpr const char* kServeRequestSchema = "rahtm.serve.request/v1";
+inline constexpr const char* kServeResponseSchema = "rahtm.serve.response/v1";
+
+/// Parse one request line / document. Unknown keys are ignored; a missing
+/// or wrong schema, a missing machine, or malformed members throw
+/// rahtm::ParseError.
+///
+/// Document shape (optional members carry the MapRequest defaults):
+///   {"schema":"rahtm.serve.request/v1","id":"r1","machine":"4x4x4x2",
+///    "concentration":2,"benchmark":"CG","bytes":4096,"mapper":"rahtm",
+///    "beam":64,"merge":true,"refine":true,"leaf_milp":8,"threads":1,
+///    "seed":24301,"grid":"8x16",
+///    "graph":{"ranks":8,"flows":[[0,1,4096],[1,2,4096]]}}
+MapRequest parseMapRequest(const obs::JsonValue& doc);
+MapRequest parseMapRequestLine(const std::string& line);
+
+/// Serialize a response as one JSON line (no trailing newline). When
+/// \p includeMapping is false the per-rank mapping array is omitted (bench
+/// clients that only read the metrics skip the bulk).
+void writeMapResponseJson(std::ostream& os, const MapResponse& resp,
+                          bool includeMapping = true);
+std::string mapResponseJson(const MapResponse& resp,
+                            bool includeMapping = true);
+
+/// Schema validation of a parsed response document (mirrors
+/// obs::validateReportJson): every problem found, empty == valid.
+std::vector<std::string> validateServeResponseJson(const obs::JsonValue& doc);
+
+}  // namespace rahtm::serve

@@ -1,0 +1,103 @@
+#pragma once
+/// \file scheduler.hpp
+/// Batched admission of concurrent mapping requests onto the exec pool.
+///
+/// Shape: producers (socket connections, the stdin batch reader, bench
+/// clients) submit() requests; a single dispatcher thread drains the queue
+/// in waves of up to `maxBatch` requests and runs each wave as one
+/// `exec::ThreadPool::parallelFor` region — every request solves in its own
+/// task, and any inner parallelism the solver asks for (RahtmConfig::
+/// numThreads) degrades to inline-serial inside the worker, which the
+/// pool's determinism contract makes bit-identical to the standalone run.
+///
+/// Backpressure: past `maxQueueDepth` queued requests, submit() rejects
+/// with a retry-after estimate (queue depth × EWMA solve time / pool
+/// width) instead of queueing unboundedly — the caller sees `accepted ==
+/// false` and the daemon answers with a retryable error instead of eating
+/// memory. In-flight work is bounded by construction (one wave at a time).
+///
+/// Observability: every request runs under a "serve.request" trace span
+/// with queue_sec / solve_sec attributes (so --trace-out shows queue wait
+/// vs solve time per request), and the registry carries
+/// `rahtm.serve.{accepted,rejected,completed,errors}` counters, a
+/// `rahtm.serve.queue_depth` gauge and `rahtm.serve.{queue,latency}_sec`
+/// histograms.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "exec/thread_pool.hpp"
+#include "serve/service.hpp"
+
+namespace rahtm::serve {
+
+struct SchedulerConfig {
+  int threads = 0;        ///< pool width (0 = all hardware threads)
+  int maxBatch = 8;       ///< max requests solved per wave
+  int maxQueueDepth = 64; ///< reject past this many queued requests
+};
+
+class Scheduler {
+ public:
+  struct Ticket {
+    bool accepted = false;
+    double retryAfterSec = 0;          ///< when rejected: suggested backoff
+    std::future<MapResponse> response; ///< valid only when accepted
+  };
+
+  /// \p service must outlive the scheduler.
+  explicit Scheduler(MapService& service, SchedulerConfig cfg = {});
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueue a request (or reject it under backpressure).
+  Ticket submit(MapRequest req);
+
+  /// Block until the queue is empty and no wave is in flight.
+  void drain();
+
+  /// Stop accepting, drain what is queued, join the dispatcher. Called by
+  /// the destructor if not already done.
+  void shutdown();
+
+  std::int64_t accepted() const { return accepted_; }
+  std::int64_t rejected() const { return rejected_; }
+  std::int64_t completed() const { return completed_; }
+  std::int64_t errors() const { return errors_; }
+
+ private:
+  struct Queued {
+    MapRequest req;
+    std::promise<MapResponse> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void dispatchLoop();
+  void process(Queued& q);
+
+  MapService& service_;
+  const SchedulerConfig cfg_;
+  exec::ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;  ///< dispatcher waits for work / stop
+  std::condition_variable idle_;  ///< drain() waits for quiescence
+  std::deque<Queued> queue_;
+  bool stop_ = false;
+  std::size_t inFlight_ = 0;
+  double ewmaSolveSec_ = 0.05;  ///< retry-after estimator
+
+  std::int64_t accepted_ = 0;
+  std::int64_t rejected_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t errors_ = 0;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace rahtm::serve

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# End-to-end pin of the serve daemon's batch mode against the one-shot tool:
+# the same request solved through `rahtm_serve --stdin` must produce a
+# mapfile byte-identical to `rahtm_map`'s, responses must come back in
+# request order, and the NDJSON response stream must pass
+# `rahtm_bench --validate`.
+#
+# usage: tool_serve_smoke.sh RAHTM_MAP RAHTM_SERVE RAHTM_BENCH WORKDIR
+set -euo pipefail
+
+MAP=$1
+SERVE=$2
+BENCH=$3
+DIR=$4
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+# Reference: the offline tool, one shot.
+"$MAP" --machine 2x2x2 --concentration 2 --benchmark CG --leaf-milp 4 \
+  --out "$DIR/oneshot.map"
+
+# The same solve twice through the daemon: the first request populates the
+# artifact cache, the second must reuse it — and both mapfiles must still be
+# bit-identical to the one-shot reference.
+cat > "$DIR/requests.ndjson" <<'EOF'
+{"schema":"rahtm.serve.request/v1","id":"cold","machine":"2x2x2","concentration":2,"benchmark":"CG","leaf_milp":4}
+{"schema":"rahtm.serve.request/v1","id":"warm","machine":"2x2x2","concentration":2,"benchmark":"CG","leaf_milp":4}
+EOF
+"$SERVE" --stdin --threads 2 --map-out-dir "$DIR" \
+  < "$DIR/requests.ndjson" > "$DIR/responses.ndjson"
+
+cmp "$DIR/oneshot.map" "$DIR/cold.map"
+cmp "$DIR/oneshot.map" "$DIR/warm.map"
+
+# Responses come back in request order.
+ids=$(sed -n 's/.*"id":"\([a-z]*\)".*/\1/p' "$DIR/responses.ndjson" | tr '\n' ' ')
+if [ "$ids" != "cold warm " ]; then
+  echo "response order wrong: got '$ids', want 'cold warm '" >&2
+  exit 1
+fi
+
+# The response stream is schema-valid NDJSON.
+"$BENCH" --validate "$DIR/responses.ndjson"
+
+# The cache actually served hits: the warm request's cache snapshot (the
+# last response line) must report nonzero route-table hits.
+if tail -n 1 "$DIR/responses.ndjson" | grep -q '"route_hits":0,'; then
+  echo "no route-table cache hits recorded across the batch" >&2
+  exit 1
+fi
+echo "serve smoke OK"

@@ -30,8 +30,9 @@ run_config sanitize "" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 # TSan pass: only the suites that exercise the thread pool and the
 # parallel pipeline paths (the serial suites add nothing under TSan).
 # test_simnet covers the sharded parallel simulator (spin-barrier cycle
-# loop, mailbox handoffs, gang scheduling on a shared pool).
-run_config tsan 'test_exec|test_subproblem|test_rahtm|test_flight_recorder|test_simnet' \
+# loop, mailbox handoffs, gang scheduling on a shared pool); test_serve the
+# cross-request artifact cache and the scheduler's concurrent waves.
+run_config tsan 'test_exec|test_subproblem|test_rahtm|test_flight_recorder|test_simnet|test_serve' \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRAHTM_SANITIZE=thread
 
 # Benchmark-regression gate: emit the smoke ledger at the small scale,
@@ -108,6 +109,29 @@ RAHTM_NODES=32 RAHTM_CONC=2 RAHTM_SIM_ITERS=1 \
 "$bench_bin" --validate "$bench_out/BENCH_mem_micro.json"
 "$bench_bin" --baseline "$repo/bench/baseline/BENCH_mem_micro.json" --check
 
+# Serve gates. Smoke: a two-request stdin batch through the daemon must
+# produce schema-valid NDJSON responses (same --validate entry point as the
+# ledgers) with cache hits recorded on the warm request. Suite: determinism
+# (served vs one-shot mapping mismatches, baseline 0), cache-warm misses
+# (baseline 0 — a warm request that rebuilds artifacts fails the gate) and
+# the exactly reproducible hit/miss counters are gated; latency quantiles
+# and requests/sec ride along ungated (host-dependent).
+echo "==== [serve] batch smoke + suite gate"
+serve_bin="$repo/build-ci-release/tools/rahtm_serve"
+printf '%s\n%s\n' \
+  '{"schema":"rahtm.serve.request/v1","id":"cold","machine":"2x2x2","concentration":2,"benchmark":"CG","leaf_milp":4}' \
+  '{"schema":"rahtm.serve.request/v1","id":"warm","machine":"2x2x2","concentration":2,"benchmark":"CG","leaf_milp":4}' \
+  | "$serve_bin" --stdin --threads 2 > "$bench_out/serve-smoke.ndjson"
+"$bench_bin" --validate "$bench_out/serve-smoke.ndjson"
+if tail -n 1 "$bench_out/serve-smoke.ndjson" | grep -q '"route_hits":0,'; then
+  echo "serve smoke: warm request recorded no cache hits"; exit 1
+fi
+
+RAHTM_NODES=32 RAHTM_CONC=2 RAHTM_SIM_ITERS=1 \
+  "$bench_bin" --suites serve --out "$bench_out"
+"$bench_bin" --validate "$bench_out/BENCH_serve.json"
+"$bench_bin" --baseline "$repo/bench/baseline/BENCH_serve.json" --check
+
 # Leak gate: the smoke suite under the ASan tree with LSan on. The
 # registries are deliberately leaked singletons (crash handlers read them
 # during teardown) — LSan treats globals-reachable memory as live, so this
@@ -120,4 +144,4 @@ RAHTM_NODES=32 RAHTM_CONC=2 RAHTM_SIM_ITERS=1 \
   ASAN_OPTIONS=detect_leaks=1 \
   "$asan_bench" --suites smoke --out "$leak_out"
 
-echo "==== CI passed (release + sanitize + tsan + bench-smoke + refine-micro + forensics + simnet-micro + mem-micro + leak-gate)"
+echo "==== CI passed (release + sanitize + tsan + bench-smoke + refine-micro + forensics + simnet-micro + mem-micro + serve + leak-gate)"

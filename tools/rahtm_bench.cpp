@@ -29,12 +29,17 @@
 #include "obs/mem.hpp"
 #include "obs/postmortem.hpp"
 #include "obs/report.hpp"
+#include "serve/protocol.hpp"
 
 namespace {
 
 using namespace rahtm;
 
 int usage(const char* argv0) {
+  std::string suites;
+  for (const std::string& s : bench::knownSuites()) {
+    suites += suites.empty() ? s : (", " + s);
+  }
   std::cerr
       << "usage: " << argv0 << " --suites S1,S2,... [--out DIR]\n"
       << "       " << argv0 << " --baseline FILE --check [--candidate FILE]\n"
@@ -45,8 +50,7 @@ int usage(const char* argv0) {
       << "       [--trace-out FILE] [--trace-summary FILE] "
          "[--metrics-out FILE] [--postmortem-dir DIR] [--verbose]\n"
       << "\n"
-      << "suites: table1, fig8, fig9, fig10, ablation_refine, refine_micro, "
-         "obs_overhead, simnet_micro, mem_micro, smoke\n"
+      << "suites: " << suites << "\n"
       << "\n"
       << "Each suite writes BENCH_<suite>.json: a versioned ledger of the\n"
       << "suite's measured metrics (MCL, hop-bytes, simulated cycles,\n"
@@ -100,20 +104,50 @@ int runValidate(const std::string& path) {
   }
   std::ostringstream ss;
   ss << in.rdbuf();
+  const std::string content = ss.str();
   std::vector<std::string> problems;
-  // Dispatch on the document's declared schema: ledgers and post-mortem
-  // artifacts share the one --validate entry point.
+  // Dispatch on the document's declared schema: ledgers, post-mortem
+  // artifacts, and rahtm_serve NDJSON response streams share the one
+  // --validate entry point. A response stream is detected from its first
+  // line (one JSON document per line) and validated line by line.
   std::string kind = "ledger";
+  bool ndjson = false;
   try {
-    const obs::JsonValue doc = obs::parseJson(ss.str());
-    if (doc.stringOr("schema", "") == obs::kPostmortemSchema) {
-      kind = "postmortem";
-      problems = obs::validatePostmortemJson(doc);
-    } else {
-      problems = obs::validateReportJson(doc);
+    const obs::JsonValue head =
+        obs::parseJson(content.substr(0, content.find('\n')));
+    ndjson = head.stringOr("schema", "") == serve::kServeResponseSchema;
+  } catch (...) {
+    // Not a single-line document; the whole-file path reports the error.
+  }
+  if (ndjson) {
+    kind = "serve response stream";
+    std::istringstream lines(content);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(lines, line)) {
+      ++lineNo;
+      if (line.empty()) continue;
+      try {
+        for (const std::string& p :
+             serve::validateServeResponseJson(obs::parseJson(line))) {
+          problems.push_back("line " + std::to_string(lineNo) + ": " + p);
+        }
+      } catch (const std::exception& e) {
+        problems.push_back("line " + std::to_string(lineNo) + ": " + e.what());
+      }
     }
-  } catch (const std::exception& e) {
-    problems.push_back(e.what());
+  } else {
+    try {
+      const obs::JsonValue doc = obs::parseJson(content);
+      if (doc.stringOr("schema", "") == obs::kPostmortemSchema) {
+        kind = "postmortem";
+        problems = obs::validatePostmortemJson(doc);
+      } else {
+        problems = obs::validateReportJson(doc);
+      }
+    } catch (const std::exception& e) {
+      problems.push_back(e.what());
+    }
   }
   if (problems.empty()) {
     std::cout << path << ": schema-valid " << kind << "\n";

@@ -16,28 +16,20 @@
 
 #include <fstream>
 #include <iostream>
-#include <memory>
 
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/strings.hpp"
-#include "core/bisection_mapper.hpp"
-#include "core/greedy_mapper.hpp"
-#include "core/rahtm.hpp"
 #include "exec/thread_pool.hpp"
-#include "graph/stats.hpp"
-#include "mapping/hilbert.hpp"
 #include "mapping/mapfile.hpp"
-#include "mapping/permutation.hpp"
-#include "mapping/rubik.hpp"
 #include "obs/mem.hpp"
 #include "obs/postmortem.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/watchdog.hpp"
 #include "profile/profile.hpp"
-#include "routing/oblivious.hpp"
+#include "serve/service.hpp"
 #include "simnet/simulator.hpp"
-#include "workloads/workload.hpp"
 
 namespace {
 
@@ -208,10 +200,27 @@ int main(int argc, char** argv) {
       }
     } flushGuard{telemetry, machine, capture, heatmapPath};
 
-    // ---- Input: profile file or named synthetic workload -----------------
-    CommGraph graph;
-    Shape grid;
-    std::vector<simnet::Phase> simStages;
+    // ---- Request + input: profile file or named synthetic workload --------
+    // Orchestration (input resolution, mapper ladder, solve, validation,
+    // quality metrics) lives in serve::MapService; this tool is a thin
+    // wrapper that keeps the historical flags and stderr output.
+    serve::MapService service;  // uncached: identical to one-shot solves
+    serve::MapRequest req;
+    req.machine = machine.shape();
+    req.concentration = concentration;
+    req.benchmark = args.getString("benchmark", "CG");
+    req.messageBytes = args.getInt("bytes", 4096);
+    req.mapper = args.getString("mapper", "rahtm");
+    req.beamWidth = static_cast<int>(args.getInt("beam", 64));
+    req.enableMerge = !args.getBool("no-merge");
+    req.finalRefinement = !args.getBool("no-refine");
+    // The offline tool defaults to the paper's exact MILP on every leaf
+    // cube it can reach (the library default is tuned for test speed).
+    req.leafMilpVerts = static_cast<int>(args.getInt("leaf-milp", 8));
+    req.threads =
+        static_cast<int>(args.getInt("threads", exec::threadsFromEnv()));
+
+    serve::RequestInput input;
     if (args.has("profile")) {
       std::ifstream in(args.getString("profile", ""));
       if (!in) {
@@ -219,85 +228,54 @@ int main(int argc, char** argv) {
         return 1;
       }
       const Profile p = readProfile(in);
-      graph = p.matrix;
-      if (args.has("grid")) grid = parseShape(args.getString("grid", ""));
-      if (graph.numRanks() != ranks) {
-        std::cerr << "profile has " << graph.numRanks() << " ranks; machine*"
+      req.hasGraph = true;
+      input.graph = p.matrix;
+      if (args.has("grid")) input.grid = parseShape(args.getString("grid", ""));
+      if (input.graph.numRanks() != ranks) {
+        std::cerr << "profile has " << input.graph.numRanks()
+                  << " ranks; machine*"
                   << "concentration = " << ranks << "\n";
         return 1;
       }
     } else {
-      NasParams params;
-      params.messageBytes = args.getInt("bytes", 4096);
-      const Workload w =
-          makeNasByName(args.getString("benchmark", "CG"), ranks, params);
-      graph = w.commGraph();
-      grid = w.logicalGrid;
-      simStages = w.phases;
+      input = service.buildInput(req);
     }
+    std::vector<simnet::Phase> simStages = std::move(input.simStages);
     const bool simulate = telemetry.enabled() || !heatmapPath.empty();
     if (simulate && simStages.empty()) {
       // Profile input carries no per-stage structure: simulate the
       // aggregate communication matrix as one phase.
       simnet::Phase all;
-      for (const Flow& f : graph.flows()) {
+      for (const Flow& f : input.graph.flows()) {
         all.push_back({f.src, f.dst, static_cast<std::int64_t>(f.bytes)});
       }
       simStages.push_back(std::move(all));
     }
 
-    // ---- Mapper selection -------------------------------------------------
-    const std::string which = args.getString("mapper", "rahtm");
-    std::unique_ptr<TaskMapper> mapper;
-    if (which == "rahtm") {
-      RahtmConfig cfg;
-      cfg.logicalGrid = grid;
-      cfg.merge.beamWidth = static_cast<int>(args.getInt("beam", 64));
-      cfg.enableMerge = !args.getBool("no-merge");
-      cfg.finalRefinement = !args.getBool("no-refine");
-      // The offline tool defaults to the paper's exact MILP on every leaf
-      // cube it can reach (the library default is tuned for test speed).
-      cfg.subproblem.milpMaxVerts =
-          static_cast<int>(args.getInt("leaf-milp", 8));
-      cfg.numThreads =
-          static_cast<int>(args.getInt("threads", exec::threadsFromEnv()));
-      mapper = std::make_unique<RahtmMapper>(cfg);
-    } else if (which == "abcdet") {
-      mapper = std::make_unique<DefaultMapper>();
-    } else if (which == "hilbert") {
-      mapper = std::make_unique<HilbertMapper>();
-    } else if (which == "rht") {
-      mapper = std::make_unique<RubikMapper>(
-          RubikMapper::autoFor(ranks, machine, concentration));
-    } else if (which == "greedy") {
-      mapper = std::make_unique<GreedyHopBytesMapper>(grid);
-    } else if (which == "rcb") {
-      BisectionConfig bisect;
-      bisect.logicalGrid = grid;
-      mapper = std::make_unique<RecursiveBisectionMapper>(bisect);
-    } else if (which == "random") {
-      mapper = std::make_unique<RandomMapper>();
-    } else {
-      std::cerr << "unknown mapper '" << which << "'\n";
-      return usage(argv[0]);
+    // ---- Solve ------------------------------------------------------------
+    const std::string which = req.mapper;
+    const serve::MapResponse resp = service.handleWithInput(req, input);
+    if (!resp.ok) {
+      if (resp.error == "unknown mapper '" + which + "'") {
+        std::cerr << resp.error << "\n";
+        return usage(argv[0]);
+      }
+      if (resp.error.rfind("invalid mapping: ", 0) == 0) {
+        std::cerr << "internal error: " << resp.error << "\n";
+        return 1;
+      }
+      // Any other solve failure: surface it like the historical uncaught
+      // exception (the flush guard salvages telemetry during unwinding).
+      throw Error(resp.error);
     }
-
-    const Mapping mapping = mapper->map(graph, machine, concentration);
-    const std::string err = mapping.validate(machine, concentration);
-    if (!err.empty()) {
-      std::cerr << "internal error: invalid mapping: " << err << "\n";
-      return 1;
-    }
+    const Mapping& mapping = resp.mapping;
 
     // ---- Report + mapfile --------------------------------------------------
-    const GraphStats stats = computeStats(graph);
-    std::cerr << which << ": mapped " << stats.ranks << " ranks ("
-              << stats.flows << " flows) onto " << machine.describe()
-              << ", concentration " << concentration << "\n";
-    std::cerr << "  MCL (MAR model): "
-              << placementMcl(machine, graph, mapping.nodeVector())
-              << ", hop-bytes: "
-              << hopBytes(graph, machine, mapping.nodeVector()) << "\n";
+    std::cerr << which << ": mapped " << resp.ranks << " ranks (" << resp.flows
+              << " flows) onto " << machine.describe() << ", concentration "
+              << concentration << "\n";
+    std::cerr << "  MCL (MAR model): " << resp.mcl
+              << ", hop-bytes: " << resp.hopBytes << "\n";
 
     const std::string outPath = args.getString("out", "rahtm.map");
     std::ofstream out(outPath);
