@@ -29,7 +29,7 @@ class SuiteRegistrar {
 
 /// All registered suite names, in canonical (order, name) order. The core
 /// roster: table1, fig8, fig9, fig10, ablation_refine, refine_micro,
-/// obs_overhead, simnet_micro, mem_micro, serve, smoke.
+/// obs_overhead, simnet_micro, mem_micro, serve, route_micro, smoke.
 std::vector<std::string> knownSuites();
 
 /// Run one suite at the given scale and return its ledger. The report's

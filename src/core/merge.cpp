@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "routing/delta_eval.hpp"
+#include "routing/route_cache.hpp"
 #include "routing/oblivious.hpp"
 
 namespace rahtm {
@@ -253,15 +254,26 @@ MergeResult mergeChildren(const Torus& regionTopo, const Shape& childShape,
   // (cross-request cache) short-circuits the lazy build; route contents are
   // identical either way.
   std::shared_ptr<const RouteTable> sharedRoutes;
-  if (cfg.artifacts != nullptr && useLoads &&
-      RouteTable::fullBuildFeasible(regionTopo)) {
-    sharedRoutes = cfg.artifacts->routeTable(regionTopo);
+  std::shared_ptr<TieredRouteCache> tieredRoutes;
+  if (useLoads && RouteTable::fullBuildFeasible(regionTopo)) {
+    if (cfg.routeCache != nullptr) {
+      sharedRoutes = cfg.routeCache->denseTier(regionTopo);
+    } else if (cfg.artifacts != nullptr) {
+      sharedRoutes = cfg.artifacts->routeTable(regionTopo);
+    }
+  } else if (useLoads && cfg.routeCache != nullptr &&
+             cfg.routeCache->topology() == regionTopo) {
+    // Top-level merge on a machine past the complete-table ceiling: the
+    // sparse tier serves (and retains across the solve) the touched pairs.
+    tieredRoutes = cfg.routeCache;
   }
   RouteTable routeTable(regionTopo);
+  RouteScratch tierScratch;
   const auto forFlow = [&](NodeId src, NodeId dst, double volume, auto&& sink) {
-    const RouteTable::Span r = sharedRoutes != nullptr
-                                   ? sharedRoutes->find(src, dst)
-                                   : routeTable.get(src, dst);
+    const RouteTable::Span r =
+        sharedRoutes != nullptr ? sharedRoutes->find(src, dst)
+        : tieredRoutes != nullptr ? tieredRoutes->read(src, dst, tierScratch)
+                                  : routeTable.get(src, dst);
     for (std::size_t i = 0; i < r.size; ++i) {
       sink(r.channels[i], volume * r.fracs[i]);
     }

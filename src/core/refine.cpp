@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "routing/delta_eval.hpp"
+#include "routing/route_cache.hpp"
 
 namespace rahtm {
 
@@ -76,14 +77,24 @@ RefineResult refineImpl(const Torus& topo, const CommGraph& clusterGraph,
   ecfg.trackHopBytes = hopBytes;
   std::shared_ptr<const RouteTable> routes;
   std::shared_ptr<const FlowIncidence> incidence;
-  if (cfg.artifacts != nullptr) {
-    if (ecfg.trackLoads && RouteTable::fullBuildFeasible(topo)) {
+  std::shared_ptr<TieredRouteCache> tiered;
+  if (ecfg.trackLoads && RouteTable::fullBuildFeasible(topo)) {
+    if (cfg.routeCache != nullptr) {
+      routes = cfg.routeCache->denseTier(topo);
+    } else if (cfg.artifacts != nullptr) {
       routes = cfg.artifacts->routeTable(topo);
     }
+  } else if (ecfg.trackLoads && cfg.routeCache != nullptr &&
+             cfg.routeCache->topology() == topo) {
+    // Past the complete-table ceiling: the sparse global tier serves the
+    // touched pairs, evicting cold ones under memory pressure.
+    tiered = cfg.routeCache;
+  }
+  if (cfg.artifacts != nullptr) {
     incidence = cfg.artifacts->flowIncidence(clusterGraph);
   }
   DeltaPlacementEval eval(topo, clusterGraph, nodeOfCluster, ecfg, routes,
-                          incidence);
+                          incidence, tiered);
 
   double curMax = eval.mcl();
   double curSq = eval.sumSquares();

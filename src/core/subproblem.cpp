@@ -18,6 +18,7 @@
 #include "routing/delta_eval.hpp"
 #include "routing/evaluator.hpp"
 #include "routing/oblivious.hpp"
+#include "routing/route_cache.hpp"
 
 namespace rahtm {
 
@@ -84,8 +85,14 @@ SubproblemSolution annealSearch(const CommGraph& g, const Torus& cube,
   ecfg.trackHopBytes = cfg.objective == MapObjective::HopBytes;
   std::shared_ptr<const RouteTable> routes;
   if (ecfg.trackLoads && RouteTable::fullBuildFeasible(cube)) {
-    routes = cfg.artifacts != nullptr ? cfg.artifacts->routeTable(cube)
-                                      : RouteTable::buildFull(cube);
+    if (cfg.routeCache != nullptr) {
+      // Dense tier: memoized across the sibling solves of a pin wave (and
+      // streamed out by the pipeline once the wave's level completes).
+      routes = cfg.routeCache->denseTier(cube);
+    } else {
+      routes = cfg.artifacts != nullptr ? cfg.artifacts->routeTable(cube)
+                                        : RouteTable::buildFull(cube);
+    }
   }
   // One incidence for all restarts (content-deterministic, so sharing keeps
   // results bit-identical to per-restart builds).

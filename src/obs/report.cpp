@@ -388,6 +388,25 @@ ThresholdMap defaultThresholds() {
       {"cache_incidence_hits", inf},
       {"cache_incidence_misses", inf},
       {"cache_bytes", inf},
+      // Route-cache suite (bench/suites_route.cpp). The mismatch counters
+      // have committed baselines of 0 — sparse-tier reads diverging from a
+      // dense build, a refaulted route differing from its first build, the
+      // 512-node mapping moving under eviction, or the tiered mcl differing
+      // from the table-free dense enumeration are all hard failures. The
+      // traffic counters and per-tier bytes move with eviction timing:
+      // reported, never gated.
+      {"tier_parity_mismatches", 0.0},
+      {"evict_refault_mismatches", 0.0},
+      {"tier_vs_dense_mcl_mismatches", 0.0},
+      {"evict_refault_mapping_mismatches", 0.0},
+      {"route_sparse_hits", inf},
+      {"route_sparse_misses", inf},
+      {"route_refaults", inf},
+      {"route_evictions", inf},
+      {"route_sparse_mb", inf},
+      {"route_dense_mb", inf},
+      {"route_dense_tables", inf},
+      {"route_sweep_seconds", inf},
   };
 }
 

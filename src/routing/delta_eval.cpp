@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "routing/oblivious.hpp"
+#include "routing/route_cache.hpp"
 
 namespace rahtm {
 
@@ -127,13 +128,15 @@ std::shared_ptr<const RouteTable> RouteTable::buildFull(const Torus& topo) {
 DeltaPlacementEval::DeltaPlacementEval(
     const Torus& topo, const CommGraph& graph, std::vector<NodeId> placement,
     Config cfg, std::shared_ptr<const RouteTable> routes,
-    std::shared_ptr<const FlowIncidence> incidence)
+    std::shared_ptr<const FlowIncidence> incidence,
+    std::shared_ptr<TieredRouteCache> tieredRoutes)
     : topo_(&topo),
       graph_(&graph),
       cfg_(cfg),
       placement_(std::move(placement)),
       sharedIncidence_(std::move(incidence)),
-      sharedRoutes_(std::move(routes)) {
+      sharedRoutes_(std::move(routes)),
+      tieredRoutes_(std::move(tieredRoutes)) {
   if (sharedIncidence_ != nullptr) {
     incidence_ = sharedIncidence_.get();
   } else {
@@ -146,6 +149,9 @@ DeltaPlacementEval::DeltaPlacementEval(
   if (sharedRoutes_ != nullptr) {
     RAHTM_REQUIRE(sharedRoutes_->complete(),
                   "DeltaPlacementEval: shared route table must be complete");
+  } else if (tieredRoutes_ != nullptr) {
+    RAHTM_REQUIRE(tieredRoutes_->topology() == topo,
+                  "DeltaPlacementEval: tiered cache serves another topology");
   } else if (cfg_.trackLoads) {
     ownRoutes_ = std::make_unique<RouteTable>(topo);
   }
@@ -173,8 +179,13 @@ void DeltaPlacementEval::accountBytes() {
 }
 
 RouteTable::Span DeltaPlacementEval::route(NodeId src, NodeId dst) {
-  return sharedRoutes_ != nullptr ? sharedRoutes_->find(src, dst)
-                                  : ownRoutes_->get(src, dst);
+  if (sharedRoutes_ != nullptr) return sharedRoutes_->find(src, dst);
+  // Every caller fully consumes one span before asking for the next, so the
+  // tiered copy-out scratch is safe to reuse per lookup.
+  if (tieredRoutes_ != nullptr) {
+    return tieredRoutes_->read(src, dst, tierScratch_);
+  }
+  return ownRoutes_->get(src, dst);
 }
 
 void DeltaPlacementEval::rebuild() {

@@ -117,12 +117,22 @@ class RouteTable {
   obs::MemAccount mem_{obs::MemAccountId::RouteTable};
 };
 
+/// Caller-owned copy-out buffer for TieredRouteCache sparse reads (defined
+/// here so consumers of the tiered tier need only the forward declaration).
+/// One per reader thread; reusing it across reads amortizes the allocation.
+struct RouteScratch {
+  std::vector<ChannelId> channels;
+  std::vector<double> fracs;
+};
+
 /// Provider of immutable, shareable per-topology / per-graph artifacts.
 /// The solver phases take a non-owning pointer (null = build locally, the
 /// historical behavior); a cross-request cache implements this to amortize
 /// `RouteTable::buildFull` and `buildFlowIncidence` across solves. Returned
 /// objects are complete and read-only, so sharing them across threads is
 /// safe and the consumer's arithmetic is bit-identical to a local build.
+class TieredRouteCache;
+
 class ArtifactSource {
  public:
   virtual ~ArtifactSource() = default;
@@ -132,6 +142,14 @@ class ArtifactSource {
   /// The per-vertex flow incidence of \p graph; never returns null.
   virtual std::shared_ptr<const FlowIncidence> flowIncidence(
       const CommGraph& graph) = 0;
+  /// A tiered route cache whose sparse tier serves \p machine — the scale
+  /// path past fullBuildFeasible(). Null (the default) means the caller
+  /// builds its own tiers; a cross-request cache returns a shared instance
+  /// so sparse working sets survive between solves.
+  virtual std::shared_ptr<TieredRouteCache> routeCache(const Torus& machine) {
+    (void)machine;
+    return nullptr;
+  }
 };
 
 struct DeltaEvalConfig {
@@ -163,10 +181,15 @@ class DeltaPlacementEval {
   /// annealing restarts); the engine builds its own lazy table when null.
   /// \p incidence: optional pre-built incidence of \p graph's flows over its
   /// vertices, shared read-only; the engine builds its own when null.
+  /// \p tieredRoutes: optional tiered cache whose sparse tier serves \p topo
+  /// — the scale path when no complete table is feasible. Consulted only
+  /// when \p routes is null; routes are copied out per lookup, so results
+  /// stay bit-identical even when the cache evicts and refaults underneath.
   DeltaPlacementEval(const Torus& topo, const CommGraph& graph,
                      std::vector<NodeId> placement, Config cfg = {},
                      std::shared_ptr<const RouteTable> routes = nullptr,
-                     std::shared_ptr<const FlowIncidence> incidence = nullptr);
+                     std::shared_ptr<const FlowIncidence> incidence = nullptr,
+                     std::shared_ptr<TieredRouteCache> tieredRoutes = nullptr);
 
   const Torus& topology() const { return *topo_; }
   const std::vector<NodeId>& placement() const { return placement_; }
@@ -219,6 +242,8 @@ class DeltaPlacementEval {
 
   std::shared_ptr<const RouteTable> sharedRoutes_;
   std::unique_ptr<RouteTable> ownRoutes_;
+  std::shared_ptr<TieredRouteCache> tieredRoutes_;
+  RouteScratch tierScratch_;  ///< copy-out buffer for tiered lookups
 
   // Dense loads + lazy-max machinery (trackLoads).
   std::vector<double> loads_;

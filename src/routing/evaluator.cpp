@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "routing/route_cache.hpp"
 
 namespace rahtm {
 
@@ -22,9 +23,24 @@ MclEvaluator::MclEvaluator(const Torus& topo,
                 "MclEvaluator: shared route table must be complete");
 }
 
+MclEvaluator::MclEvaluator(const Torus& topo,
+                           std::shared_ptr<TieredRouteCache> tiered)
+    : topo_(&topo),
+      tieredRoutes_(std::move(tiered)),
+      scratch_(static_cast<std::size_t>(topo.numChannelSlots()), 0.0),
+      mark_(static_cast<std::size_t>(topo.numChannelSlots()), 0) {
+  RAHTM_REQUIRE(tieredRoutes_ != nullptr && tieredRoutes_->topology() == topo,
+                "MclEvaluator: tiered cache serves another topology");
+}
+
 RouteTable::Span MclEvaluator::routeOf(NodeId src, NodeId dst) {
-  return sharedRoutes_ != nullptr ? sharedRoutes_->find(src, dst)
-                                  : ownRoutes_->get(src, dst);
+  if (sharedRoutes_ != nullptr) return sharedRoutes_->find(src, dst);
+  // accumulate() fully consumes each span before the next lookup, so the
+  // tiered copy-out scratch is reused safely.
+  if (tieredRoutes_ != nullptr) {
+    return tieredRoutes_->read(src, dst, tierScratch_);
+  }
+  return ownRoutes_->get(src, dst);
 }
 
 void MclEvaluator::accumulate(const CommGraph& graph,

@@ -35,6 +35,11 @@ class MclEvaluator {
   /// handed to every exec::ThreadPool worker). No routes are built lazily.
   MclEvaluator(const Torus& topo, std::shared_ptr<const RouteTable> routes);
 
+  /// Evaluator over a tiered cache's sparse global tier — the path when the
+  /// topology is past fullBuildFeasible(). Routes are copied out per lookup
+  /// (bit-identical to a dense build, robust to concurrent eviction).
+  MclEvaluator(const Torus& topo, std::shared_ptr<TieredRouteCache> tiered);
+
   const Torus& topology() const { return *topo_; }
 
   /// MCL of \p graph under \p nodeOfVertex (uniform-minimal model).
@@ -67,6 +72,8 @@ class MclEvaluator {
   const Torus* topo_;
   std::shared_ptr<const RouteTable> sharedRoutes_;  // complete, read-only
   std::unique_ptr<RouteTable> ownRoutes_;           // lazily populated
+  std::shared_ptr<TieredRouteCache> tieredRoutes_;  // sparse global tier
+  RouteScratch tierScratch_;  // copy-out buffer for tiered lookups
   std::vector<double> scratch_;           // dense channel loads
   std::vector<ChannelId> touched_;        // channels written this eval
   /// Per-channel "was touched this evaluation" stamp. An epoch counter

@@ -1,0 +1,321 @@
+#include "routing/route_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "routing/oblivious.hpp"
+
+namespace rahtm {
+
+namespace {
+
+inline std::uint64_t pairKey(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(dst);
+}
+
+/// Same fingerprint the serve ArtifactCache uses ("4x4x4x2/wwww"): shape and
+/// per-dimension wrap fully determine every route.
+std::string shapeKey(const Torus& topo) {
+  std::string key;
+  const Shape& shape = topo.shape();
+  for (std::size_t d = 0; d < shape.size(); ++d) {
+    if (d != 0) key.push_back('x');
+    key += std::to_string(shape[d]);
+  }
+  key.push_back('/');
+  for (std::size_t d = 0; d < shape.size(); ++d) {
+    key.push_back(topo.wraps(d) ? 'w' : '-');
+  }
+  return key;
+}
+
+template <typename Vec>
+std::int64_t capacityBytes(const Vec& v) {
+  return static_cast<std::int64_t>(v.capacity() *
+                                   sizeof(typename Vec::value_type));
+}
+
+/// Map/set node overhead estimate, matching RouteTable::accountBytes so the
+/// two sparse representations charge the ledger on the same scale.
+constexpr std::int64_t kNodeOverhead = 2 * sizeof(void*);
+
+/// Cap on remembered evicted keys per shard. The refault classifier is
+/// bookkeeping, not correctness — past the cap the set is cleared (those
+/// pairs would re-read as plain misses) so churn tracking can never grow
+/// the very working set eviction is trying to bound.
+constexpr std::size_t kEvictedKeysPerShardCap = 1u << 15;
+
+}  // namespace
+
+TieredRouteCache::TieredRouteCache(const Torus& machine, Config cfg,
+                                   ArtifactSource* denseSource)
+    : machine_(machine), cfg_(cfg), denseSource_(denseSource) {
+  const int nshards = std::max(1, cfg_.shards);
+  shards_.reserve(static_cast<std::size_t>(nshards));
+  for (int i = 0; i < nshards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (cfg_.registerDegrade) {
+    degradeHandle_ = obs::MemRegistry::instance().registerDegradeCallback(
+        "route_cache", [this] { return shed(0); });
+  }
+}
+
+TieredRouteCache::~TieredRouteCache() {
+  if (degradeHandle_ >= 0) {
+    obs::MemRegistry::instance().unregisterDegradeCallback(degradeHandle_);
+  }
+}
+
+// ---- Dense tier -----------------------------------------------------------
+
+std::shared_ptr<const RouteTable> TieredRouteCache::denseTier(
+    const Torus& sub) {
+  RAHTM_REQUIRE(RouteTable::fullBuildFeasible(sub),
+                "TieredRouteCache: dense tier asked for an infeasible shape");
+  if (denseSource_ != nullptr) {
+    // The source (serve ArtifactCache) owns sharing, LRU and counters;
+    // memoizing here would hide warm requests from its hit accounting.
+    return denseSource_->routeTable(sub);
+  }
+  const std::string key = shapeKey(sub);
+  std::promise<std::shared_ptr<const RouteTable>> promise;
+  {
+    std::unique_lock<std::mutex> lock(denseMu_);
+    auto it = dense_.find(key);
+    if (it != dense_.end()) {
+      ++denseHits_;
+      auto future = it->second.future;
+      lock.unlock();
+      return future.get();
+    }
+    ++denseMisses_;
+    DenseEntry entry;
+    entry.future = promise.get_future().share();
+    dense_.emplace(key, std::move(entry));
+  }
+
+  std::shared_ptr<const RouteTable> table;
+  try {
+    table = RouteTable::buildFull(sub);
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    std::lock_guard<std::mutex> lock(denseMu_);
+    dense_.erase(key);
+    throw;
+  }
+  promise.set_value(table);
+  {
+    std::lock_guard<std::mutex> lock(denseMu_);
+    // The entry may have been released (stream-out or shed) while we built;
+    // only a still-present entry joins the byte tally.
+    auto it = dense_.find(key);
+    if (it != dense_.end()) it->second.bytes = table->footprintBytes();
+  }
+  return table;
+}
+
+std::int64_t TieredRouteCache::releaseDense(const Torus& sub) {
+  if (denseSource_ != nullptr) return 0;  // the source owns its LRU
+  const std::string key = shapeKey(sub);
+  std::lock_guard<std::mutex> lock(denseMu_);
+  auto it = dense_.find(key);
+  if (it == dense_.end()) return 0;
+  const std::int64_t released = it->second.bytes;
+  dense_.erase(it);
+  if (released > 0) ++denseEvictions_;
+  return released;
+}
+
+// ---- Sparse tier ----------------------------------------------------------
+
+TieredRouteCache::Shard& TieredRouteCache::shardOf(std::uint64_t key) {
+  const std::uint64_t mixed = key ^ (key >> 32);
+  return *shards_[static_cast<std::size_t>(mixed % shards_.size())];
+}
+
+void TieredRouteCache::accountShard(Shard& shard) {
+  std::int64_t bytes = shard.entryBytes;
+  bytes += static_cast<std::int64_t>(shard.entries.bucket_count()) *
+           static_cast<std::int64_t>(sizeof(void*));
+  bytes += static_cast<std::int64_t>(shard.evicted.size()) *
+           (static_cast<std::int64_t>(sizeof(std::uint64_t)) + kNodeOverhead);
+  bytes += static_cast<std::int64_t>(shard.evicted.bucket_count()) *
+           static_cast<std::int64_t>(sizeof(void*));
+  shard.bytes = bytes;
+  shard.mem.set(bytes);  // may throw MemBudgetError at the FAIL stage
+}
+
+RouteTable::Span TieredRouteCache::read(NodeId src, NodeId dst,
+                                        Scratch& scratch) {
+  const std::uint64_t key = pairKey(src, dst);
+  Shard& shard = shardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.misses;
+    if (shard.evicted.erase(key) > 0) ++shard.refaults;
+    SparseEntry entry;
+    // Identical enumeration to RouteTable::get — the route content (order
+    // included) is a pure function of the topology, which is what makes
+    // dense, sparse, and refaulted reads bit-identical.
+    forEachUniformMinimalLoad(machine_, machine_.coordOf(src),
+                              machine_.coordOf(dst), 1.0,
+                              [&entry](ChannelId c, double frac) {
+                                entry.channels.push_back(c);
+                                entry.fracs.push_back(frac);
+                              });
+    it = shard.entries.emplace(key, std::move(entry)).first;
+    shard.entryBytes += capacityBytes(it->second.channels) +
+                        capacityBytes(it->second.fracs) +
+                        static_cast<std::int64_t>(sizeof(
+                            std::pair<const std::uint64_t, SparseEntry>)) +
+                        kNodeOverhead;
+  } else {
+    ++shard.hits;
+  }
+  it->second.lastUse = ++shard.tick;
+
+  // Copy out before any eviction can run: the span must survive entries
+  // being dropped by a concurrent (or our own budget-triggered) shed.
+  const SparseEntry& e = it->second;
+  scratch.channels.assign(e.channels.begin(), e.channels.end());
+  scratch.fracs.assign(e.fracs.begin(), e.fracs.end());
+
+  if (cfg_.maxSparseBytes > 0) {
+    const std::int64_t perShard =
+        cfg_.maxSparseBytes / static_cast<std::int64_t>(shards_.size());
+    // Hysteresis: overshoot the eviction down to 7/8 of the budget. The LRU
+    // pass sorts the whole shard, so shedding to exactly the watermark would
+    // re-sort on (nearly) every subsequent miss once the shard sits at its
+    // budget — an O(n log n) toll per read that dwarfs the route build. The
+    // extra 1/8 buys perShard/8 bytes of sort-free misses per sort. Timing
+    // of eviction never affects route content, only the churn counters.
+    if (shard.entryBytes > perShard) {
+      shedShardLocked(shard, perShard - perShard / 8);
+    }
+  }
+  accountShard(shard);
+
+  return {scratch.channels.data(), scratch.fracs.data(),
+          scratch.channels.size()};
+}
+
+std::int64_t TieredRouteCache::shedShardLocked(Shard& shard,
+                                               std::int64_t perShardTarget) {
+  if (shard.entries.empty()) return 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> order;  // (lastUse, key)
+  order.reserve(shard.entries.size());
+  for (const auto& kv : shard.entries) {
+    order.emplace_back(kv.second.lastUse, kv.first);
+  }
+  std::sort(order.begin(), order.end());
+  const std::int64_t before = shard.entryBytes;
+  for (const auto& [lastUse, key] : order) {
+    (void)lastUse;
+    if (shard.entryBytes <= perShardTarget) break;
+    auto it = shard.entries.find(key);
+    shard.entryBytes -= capacityBytes(it->second.channels) +
+                        capacityBytes(it->second.fracs) +
+                        static_cast<std::int64_t>(sizeof(
+                            std::pair<const std::uint64_t, SparseEntry>)) +
+                        kNodeOverhead;
+    shard.entries.erase(it);
+    if (shard.evicted.size() >= kEvictedKeysPerShardCap) shard.evicted.clear();
+    shard.evicted.insert(key);
+    ++shard.evictions;
+  }
+  return before - shard.entryBytes;
+}
+
+// ---- Eviction -------------------------------------------------------------
+
+std::int64_t TieredRouteCache::shed(std::int64_t targetBytes) {
+  std::int64_t released = 0;
+  const std::int64_t perShard =
+      targetBytes / static_cast<std::int64_t>(shards_.size());
+  for (auto& shardPtr : shards_) {
+    Shard& shard = *shardPtr;
+    // try_lock: a shed can fire from the mem ledger's DEGRADE stage while a
+    // reader of this very shard is mid-build (its mem.set() crossed the
+    // threshold); waiting would deadlock, so a busy shard keeps its working
+    // set this round.
+    std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+    if (!lock.owns_lock()) continue;
+    const std::int64_t before = shard.bytes;
+    shedShardLocked(shard, perShard);
+    accountShard(shard);
+    released += std::max<std::int64_t>(0, before - shard.bytes);
+  }
+  if (denseSource_ == nullptr) {
+    std::unique_lock<std::mutex> lock(denseMu_, std::try_to_lock);
+    if (lock.owns_lock()) {
+      for (auto it = dense_.begin(); it != dense_.end();) {
+        if (it->second.bytes > 0) {
+          // Ready tables drop (their own MemAccount untracks on destruction
+          // once the last holder releases). Pending builds stay: their
+          // builder still expects to find the entry.
+          released += it->second.bytes;
+          ++denseEvictions_;
+          it = dense_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  return released;
+}
+
+// ---- Observability --------------------------------------------------------
+
+TieredRouteCache::Stats TieredRouteCache::stats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(denseMu_);
+    s.denseTables = static_cast<std::int64_t>(dense_.size());
+    for (const auto& kv : dense_) s.denseBytes += kv.second.bytes;
+    s.denseHits = denseHits_;
+    s.denseMisses = denseMisses_;
+    s.evictions = denseEvictions_;
+  }
+  for (const auto& shardPtr : shards_) {
+    const Shard& shard = *shardPtr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    s.sparseEntries += static_cast<std::int64_t>(shard.entries.size());
+    s.sparseBytes += shard.bytes;
+    s.sparseRouteBytes += shard.entryBytes;
+    s.sparseHits += shard.hits;
+    s.sparseMisses += shard.misses;
+    s.refaults += shard.refaults;
+    s.evictions += shard.evictions;
+  }
+  return s;
+}
+
+void TieredRouteCache::noteMetrics() const {
+  obs::MetricsRegistry* reg = obs::metrics();
+  if (reg == nullptr) return;
+  const Stats s = stats();
+  // set() rather than add(): mirrors of monotonic totals are idempotent.
+  reg->gauge("rahtm.route.dense_tables").set(static_cast<double>(s.denseTables));
+  reg->gauge("rahtm.route.dense_bytes").set(static_cast<double>(s.denseBytes));
+  reg->gauge("rahtm.route.dense_hits").set(static_cast<double>(s.denseHits));
+  reg->gauge("rahtm.route.dense_misses")
+      .set(static_cast<double>(s.denseMisses));
+  reg->gauge("rahtm.route.sparse_entries")
+      .set(static_cast<double>(s.sparseEntries));
+  reg->gauge("rahtm.route.sparse_bytes")
+      .set(static_cast<double>(s.sparseBytes));
+  reg->gauge("rahtm.route.sparse_hits").set(static_cast<double>(s.sparseHits));
+  reg->gauge("rahtm.route.sparse_misses")
+      .set(static_cast<double>(s.sparseMisses));
+  reg->gauge("rahtm.route.refaults").set(static_cast<double>(s.refaults));
+  reg->gauge("rahtm.route.evictions").set(static_cast<double>(s.evictions));
+}
+
+}  // namespace rahtm

@@ -1,0 +1,194 @@
+#pragma once
+/// \file route_cache.hpp
+/// Tiered route cache: the scale story past the dense RouteTable.
+///
+/// A single `RouteTable` is either complete (eager all-pairs build, capped
+/// at 128 nodes) or lazy-but-single-threaded, and its dense (src,dst) pair
+/// index caps out at 1024 nodes. Neither shape survives paper scale: a
+/// 512-node hierarchical solve touches many small sub-tori (each re-annealed
+/// thousands of times — dense is right) *and* the full machine (where only a
+/// sparse, evictable working set is affordable). `TieredRouteCache` provides
+/// both tiers behind one object that the whole pipeline — subproblem waves,
+/// merge, final refinement, the serve-layer artifact cache, and simnet's
+/// flow mode — can share:
+///
+///  * **Dense tier** — `denseTier(sub)`: a complete, immutable `RouteTable`
+///    per active sub-torus, memoized by topology fingerprint. Concurrent
+///    pin-wave workers asking for the same cube share a single build
+///    (promise/shared-future, first builder wins); `releaseDense(sub)`
+///    streams tables out once a wave no longer needs them, so the resident
+///    set tracks the *active* level instead of the whole hierarchy.
+///  * **Sparse tier** — `read(src, dst, scratch)`: a sharded pair→route map
+///    over the cache's own (machine) topology. Routes are computed on first
+///    touch with the same canonical `forEachUniformMinimalLoad` enumeration
+///    a RouteTable uses, so spans are bit-identical to any dense build. The
+///    route is copied into caller-owned scratch under the shard lock, which
+///    makes concurrent readers safe against concurrent eviction (a returned
+///    span can never dangle into evicted storage).
+///  * **Eviction** — `shed(targetBytes)`: LRU per shard, and the whole cache
+///    registers as a mem-ledger DEGRADE callback so `RAHTM_MEM_BUDGET_MB`
+///    sheds route storage before the run fails. Evicted keys are remembered
+///    (a few bytes each) so a later rebuild is classified as a *refault* in
+///    the stats — the route_micro ledger watches that churn.
+///
+/// Every byte the sparse tier holds — route vectors, the pair map's nodes
+/// and buckets, and the eviction/refault bookkeeping — is charged to the
+/// route_table mem account, so `mem_micro` sees the tier's true working set.
+///
+/// Determinism: a route's content is a pure function of (topology, src,
+/// dst); dense, sparse, and evict-then-refault reads all reproduce it bit
+/// for bit, so searches running over any tier (or losing entries to a
+/// degrade mid-search) stay bit-identical. Only the hit/miss/refault
+/// *counters* depend on timing.
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/mem.hpp"
+#include "routing/delta_eval.hpp"
+#include "topology/torus.hpp"
+
+namespace rahtm {
+
+struct TieredRouteCacheConfig {
+  /// Sparse-tier LRU budget (route vectors + index bookkeeping). Past it,
+  /// cold shards shed oldest-first. 0 = unlimited (degrade still sheds).
+  std::int64_t maxSparseBytes = 0;
+  /// Sparse-tier shard count (concurrency of independent readers).
+  int shards = 8;
+  /// Register a shed-everything DEGRADE callback on the global MemRegistry
+  /// (unregistered in the destructor).
+  bool registerDegrade = true;
+};
+
+class TieredRouteCache {
+ public:
+  using Config = TieredRouteCacheConfig;
+
+  /// \p machine: the topology the sparse tier serves (`read` asserts its
+  /// pairs against it). \p denseSource: optional provider the dense tier
+  /// delegates to instead of memoizing locally — the serve ArtifactCache
+  /// passes itself so cross-request sharing, LRU accounting, and hit/miss
+  /// counters stay in one place. Non-owning; must outlive this cache.
+  explicit TieredRouteCache(const Torus& machine, Config cfg = {},
+                            ArtifactSource* denseSource = nullptr);
+  ~TieredRouteCache();
+  TieredRouteCache(const TieredRouteCache&) = delete;
+  TieredRouteCache& operator=(const TieredRouteCache&) = delete;
+
+  const Torus& topology() const { return machine_; }
+
+  // ---- Dense tier ---------------------------------------------------------
+
+  /// Complete, immutable route table for \p sub (which must satisfy
+  /// RouteTable::fullBuildFeasible). Memoized; concurrent callers for the
+  /// same shape share one build.
+  std::shared_ptr<const RouteTable> denseTier(const Torus& sub);
+
+  /// Stream one dense table out (e.g. after a pin wave finishes with its
+  /// cube shape). Live shared_ptr holders keep the table alive; the cache
+  /// just stops handing it out. Returns the bytes released from the tier's
+  /// tally (0 when absent or delegated to a denseSource).
+  std::int64_t releaseDense(const Torus& sub);
+
+  // ---- Sparse tier --------------------------------------------------------
+
+  /// Caller-owned copy-out buffer for sparse reads (one per reader thread).
+  /// Alias of the RouteScratch consumers hold behind a forward declaration.
+  using Scratch = RouteScratch;
+
+  /// Route of (src,dst) on the machine topology, built on first touch.
+  /// Thread-safe; the returned span points into \p scratch and stays valid
+  /// until the next read through the same scratch.
+  RouteTable::Span read(NodeId src, NodeId dst, Scratch& scratch);
+
+  // ---- Eviction -----------------------------------------------------------
+
+  /// Evict sparse entries (LRU per shard) until the sparse tier holds at
+  /// most \p targetBytes, and drop every locally memoized dense table.
+  /// Deadlock-safe from a mem-ledger degrade callback: shards already
+  /// locked by their reader are skipped (try_lock) rather than waited on.
+  /// Returns the bytes released.
+  std::int64_t shed(std::int64_t targetBytes = 0);
+
+  // ---- Observability ------------------------------------------------------
+
+  struct Stats {
+    std::int64_t denseTables = 0;  ///< locally memoized complete tables
+    std::int64_t denseBytes = 0;
+    std::int64_t denseHits = 0;
+    std::int64_t denseMisses = 0;
+    std::int64_t sparseEntries = 0;
+    std::int64_t sparseBytes = 0;  ///< routes + index + evict bookkeeping
+    /// Live route storage alone (the part maxSparseBytes bounds; the
+    /// index/bookkeeping remainder is sparseBytes - sparseRouteBytes).
+    std::int64_t sparseRouteBytes = 0;
+    std::int64_t sparseHits = 0;
+    std::int64_t sparseMisses = 0;
+    std::int64_t refaults = 0;   ///< misses on a previously evicted pair
+    std::int64_t evictions = 0;  ///< sparse entries + dense tables dropped
+  };
+  Stats stats() const;
+
+  /// Mirror stats() into `rahtm.route.*` gauges when a metrics registry is
+  /// installed (idempotent set(), like the serve cache's mirror).
+  void noteMetrics() const;
+
+ private:
+  struct DenseEntry {
+    std::shared_future<std::shared_ptr<const RouteTable>> future;
+    std::int64_t bytes = 0;  ///< 0 until the build completes
+  };
+  struct SparseEntry {
+    std::vector<ChannelId> channels;
+    std::vector<double> fracs;
+    std::uint64_t lastUse = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, SparseEntry> entries;
+    /// Pairs evicted from this shard (refault classification; erased again
+    /// when the pair is rebuilt). Charged to the mem account like the map.
+    std::unordered_set<std::uint64_t> evicted;
+    std::uint64_t tick = 0;  ///< per-shard LRU clock
+    /// Capacity bytes of live entries (vectors + map-node overhead), kept
+    /// incrementally so a miss does not rescan the shard.
+    std::int64_t entryBytes = 0;
+    std::int64_t bytes = 0;  ///< accounted sparse bytes in this shard
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t refaults = 0;
+    std::int64_t evictions = 0;
+    /// Guarded by mu (MemAccount itself is not thread-safe per instance).
+    obs::MemAccount mem{obs::MemAccountId::RouteTable};
+  };
+
+  Shard& shardOf(std::uint64_t key);
+  /// Recompute and charge \p shard's footprint. Caller holds shard.mu.
+  static void accountShard(Shard& shard);
+  /// Evict \p shard LRU-first until it holds <= perShardTarget. Caller
+  /// holds shard.mu. Returns bytes released.
+  static std::int64_t shedShardLocked(Shard& shard,
+                                      std::int64_t perShardTarget);
+
+  const Torus machine_;
+  const Config cfg_;
+  ArtifactSource* const denseSource_;
+  int degradeHandle_ = -1;
+
+  mutable std::mutex denseMu_;
+  std::unordered_map<std::string, DenseEntry> dense_;
+  std::int64_t denseHits_ = 0;    ///< guarded by denseMu_
+  std::int64_t denseMisses_ = 0;  ///< guarded by denseMu_
+  std::int64_t denseEvictions_ = 0;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace rahtm

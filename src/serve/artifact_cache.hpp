@@ -78,6 +78,13 @@ class ArtifactCache final : public ArtifactSource {
   std::shared_ptr<const FlowIncidence> flowIncidence(
       const CommGraph& graph) override;
 
+  /// ArtifactSource: shared tiered route cache for \p machine, memoized per
+  /// topology fingerprint so concurrent requests for the same machine share
+  /// one sparse working set. The returned cache delegates its dense tier
+  /// back to this ArtifactCache (routeTable()), which keeps cross-request
+  /// sharing, LRU policy, and the gated hit/miss counters in one place.
+  std::shared_ptr<TieredRouteCache> routeCache(const Torus& machine) override;
+
   /// Canonical topology fingerprint, e.g. "4x4x4x2/wwww" ('w' wrap,
   /// '-' no wrap per dimension).
   static std::string topologyKey(const Torus& topo);
@@ -117,6 +124,12 @@ class ArtifactCache final : public ArtifactSource {
   std::unordered_map<std::string, RouteEntry> routes_;
   /// Content-hash chains: every entry under a hash is compared exactly.
   std::unordered_map<std::uint64_t, std::vector<IncidenceEntry>> incidences_;
+  /// One tiered cache per machine fingerprint (sparse tiers outlive
+  /// individual requests; dense tiers delegate to routes_ above). Their
+  /// sparse bytes self-account, so the LRU tally here ignores them —
+  /// dropAll() sheds them alongside everything else.
+  std::unordered_map<std::string, std::shared_ptr<TieredRouteCache>>
+      routeCaches_;
   ArtifactCacheStats stats_;
 };
 

@@ -1,0 +1,353 @@
+/// Property tests for the tiered route cache (routing/route_cache.hpp):
+/// bit-identical spans between the dense tier, the sparse global tier, and
+/// evict-then-refault reads; DeltaPlacementEval / refinement parity past the
+/// complete-table ceiling; thread-count determinism of searches running over
+/// the cache; concurrent readers against concurrent shedding (the TSan
+/// target); and the mem-ledger degrade integration.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/refine.hpp"
+#include "core/subproblem.hpp"
+#include "exec/thread_pool.hpp"
+#include "graph/comm_graph.hpp"
+#include "obs/mem.hpp"
+#include "routing/delta_eval.hpp"
+#include "routing/evaluator.hpp"
+#include "routing/route_cache.hpp"
+#include "simnet/simulator.hpp"
+#include "topology/torus.hpp"
+
+namespace rahtm {
+namespace {
+
+constexpr std::int64_t kMb = 1024 * 1024;
+
+CommGraph randomGraph(RankId verts, std::size_t flows, Rng& rng) {
+  CommGraph g(verts);
+  for (std::size_t i = 0; i < flows; ++i) {
+    const auto a =
+        static_cast<RankId>(rng.nextBounded(static_cast<std::uint64_t>(verts)));
+    const auto b =
+        static_cast<RankId>(rng.nextBounded(static_cast<std::uint64_t>(verts)));
+    g.addFlow(a, b, static_cast<double>(rng.nextBounded(1000) + 1) * 8.0);
+  }
+  return g;
+}
+
+std::vector<NodeId> identityPlacement(std::int64_t nodes) {
+  std::vector<NodeId> place(static_cast<std::size_t>(nodes));
+  for (std::size_t i = 0; i < place.size(); ++i) {
+    place[i] = static_cast<NodeId>(i);
+  }
+  return place;
+}
+
+void expectSpanEq(const RouteTable::Span& a, const RouteTable::Span& b) {
+  ASSERT_EQ(a.size, b.size);
+  for (std::size_t i = 0; i < a.size; ++i) {
+    EXPECT_EQ(a.channels[i], b.channels[i]);
+    EXPECT_EQ(a.fracs[i], b.fracs[i]);
+  }
+}
+
+// The registry is process-global; reset around every test so budget tests
+// cannot pollute their neighbors (same discipline as test_mem.cpp). Caches
+// must be constructed after SetUp: the reset clears registered callbacks.
+class RouteCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::MemRegistry::instance().resetForTest(); }
+  void TearDown() override { obs::MemRegistry::instance().resetForTest(); }
+};
+
+TEST_F(RouteCacheTest, SparseTierMatchesDenseBuildAllPairs) {
+  // Includes a 2-ary torus dimension (double-wide links) and a mesh dim.
+  const Torus t = Torus::mixed({3, 2, 4}, {1, 1, 0});
+  const auto dense = RouteTable::buildFull(t);
+  TieredRouteCache cache(t);
+  TieredRouteCache::Scratch scratch;
+  const auto n = static_cast<NodeId>(t.numNodes());
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      expectSpanEq(cache.read(s, d, scratch), dense->find(s, d));
+    }
+  }
+  const auto before = cache.stats();
+  EXPECT_EQ(before.sparseMisses, static_cast<std::int64_t>(n) * n);
+  EXPECT_EQ(before.sparseHits, 0);
+  EXPECT_EQ(before.refaults, 0);
+  EXPECT_GT(before.sparseBytes, 0);
+
+  // Evict everything, then refault: spans must still be bit-identical and
+  // every rebuild must be classified as a refault.
+  EXPECT_GT(cache.shed(0), 0);
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      expectSpanEq(cache.read(s, d, scratch), dense->find(s, d));
+    }
+  }
+  const auto after = cache.stats();
+  EXPECT_EQ(after.refaults, static_cast<std::int64_t>(n) * n);
+  EXPECT_EQ(after.evictions, static_cast<std::int64_t>(n) * n);
+}
+
+TEST_F(RouteCacheTest, DenseTierMemoizesAndStreamsOut) {
+  const Torus cube = Torus::torus({2, 2, 2});
+  TieredRouteCache cache(Torus::torus({4, 4, 4, 4}));
+  const auto a = cache.denseTier(cube);
+  const auto b = cache.denseTier(cube);
+  EXPECT_EQ(a.get(), b.get());  // memoized
+  ASSERT_TRUE(a->complete());
+  auto s = cache.stats();
+  EXPECT_EQ(s.denseMisses, 1);
+  EXPECT_EQ(s.denseHits, 1);
+  EXPECT_EQ(s.denseTables, 1);
+  EXPECT_GT(s.denseBytes, 0);
+
+  EXPECT_GT(cache.releaseDense(cube), 0);
+  s = cache.stats();
+  EXPECT_EQ(s.denseTables, 0);
+  // Live holders stay valid after the stream-out.
+  EXPECT_EQ(a->find(0, 1).size, cache.denseTier(cube)->find(0, 1).size);
+}
+
+TEST_F(RouteCacheTest, MaxSparseBytesBoundsResidency) {
+  const Torus t = Torus::torus({4, 4, 4});  // 64 nodes, all-pairs reads
+  TieredRouteCache::Config cfg;
+  cfg.maxSparseBytes = 16 * 1024;
+  auto cache = std::make_shared<TieredRouteCache>(t, cfg);
+  TieredRouteCache::Scratch scratch;
+  const auto dense = RouteTable::buildFull(t);
+  const auto n = static_cast<NodeId>(t.numNodes());
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      expectSpanEq(cache->read(s, d, scratch), dense->find(s, d));
+    }
+  }
+  const auto stats = cache->stats();
+  EXPECT_GT(stats.evictions, 0);  // the working set cannot fit
+  // Live route storage obeys the budget (up to one freshly inserted entry
+  // per shard of slack); the refault/index bookkeeping rides on top and is
+  // capped separately.
+  EXPECT_LE(stats.sparseRouteBytes, 2 * cfg.maxSparseBytes);
+  EXPECT_EQ(stats.sparseMisses - stats.refaults,
+            static_cast<std::int64_t>(n) * n);
+}
+
+TEST_F(RouteCacheTest, DeltaEvalTieredMatchesOwnedAndSharedUnderEviction) {
+  const Torus t = Torus::torus({3, 2, 2});
+  Rng rng(19);
+  const auto verts = static_cast<std::size_t>(t.numNodes());
+  const CommGraph g = randomGraph(static_cast<RankId>(verts), 40, rng);
+  auto place = identityPlacement(t.numNodes());
+  rng.shuffle(place);
+
+  auto cache = std::make_shared<TieredRouteCache>(t);
+  DeltaPlacementEval own(t, g, place);
+  DeltaPlacementEval shared(t, g, place, {}, RouteTable::buildFull(t));
+  DeltaPlacementEval tiered(t, g, place, {}, nullptr, nullptr, cache);
+  EXPECT_EQ(own.loads(), tiered.loads());
+  EXPECT_EQ(shared.loads(), tiered.loads());
+
+  Rng moves(23);
+  for (int step = 0; step < 60; ++step) {
+    if (step % 20 == 10) {
+      // Mid-sequence eviction: subsequent probes refault and must stay
+      // bit-identical.
+      EXPECT_GT(cache->shed(0), 0);
+    }
+    const auto a = static_cast<RankId>(moves.nextBounded(verts));
+    auto b = static_cast<RankId>(moves.nextBounded(verts));
+    while (b == a) b = static_cast<RankId>(moves.nextBounded(verts));
+    const auto so = own.probeSwap(a, b);
+    const auto ss = shared.probeSwap(a, b);
+    const auto st = tiered.probeSwap(a, b);
+    EXPECT_EQ(so.mcl, st.mcl);
+    EXPECT_EQ(so.sumSquares, st.sumSquares);
+    EXPECT_EQ(ss.mcl, st.mcl);
+    own.commit();
+    shared.commit();
+    tiered.commit();
+  }
+  EXPECT_EQ(own.loads(), tiered.loads());
+  EXPECT_GT(cache->stats().refaults, 0);
+}
+
+TEST_F(RouteCacheTest, MclEvaluatorTieredMatchesPlain) {
+  const Torus t = Torus::torus({3, 2, 4});
+  Rng rng(7);
+  const CommGraph g = randomGraph(static_cast<RankId>(t.numNodes()), 80, rng);
+  auto place = identityPlacement(t.numNodes());
+  rng.shuffle(place);
+  MclEvaluator plain(t);
+  MclEvaluator tiered(t, std::make_shared<TieredRouteCache>(t));
+  const auto a = plain.summarize(g, place);
+  const auto b = tiered.summarize(g, place);
+  EXPECT_EQ(a.mcl, b.mcl);
+  EXPECT_EQ(a.sumSquares, b.sumSquares);
+}
+
+TEST_F(RouteCacheTest, RefinePastCompleteTableCeilingMatchesLazy) {
+  // 256 nodes: past kEagerBuildNodeCap, so the no-cache path refines on a
+  // private lazy table and the cached path on the sparse global tier.
+  const Torus t = Torus::torus({4, 4, 4, 4});
+  ASSERT_FALSE(RouteTable::fullBuildFeasible(t));
+  Rng rng(41);
+  const CommGraph g = randomGraph(static_cast<RankId>(t.numNodes()), 512, rng);
+  auto lazyPlace = identityPlacement(t.numNodes());
+  rng.shuffle(lazyPlace);
+  auto cachedPlace = lazyPlace;
+
+  RefineConfig cfg;
+  cfg.maxPasses = 2;
+  const RefineResult lazy = refinePlacement(t, g, lazyPlace, cfg);
+
+  cfg.routeCache = std::make_shared<TieredRouteCache>(t);
+  const RefineResult cached = refinePlacement(t, g, cachedPlace, cfg);
+
+  EXPECT_EQ(lazyPlace, cachedPlace);
+  EXPECT_EQ(lazy.objectiveBefore, cached.objectiveBefore);
+  EXPECT_EQ(lazy.objectiveAfter, cached.objectiveAfter);
+  EXPECT_EQ(lazy.swapsApplied, cached.swapsApplied);
+  EXPECT_EQ(lazy.probes, cached.probes);
+  EXPECT_GT(cfg.routeCache->stats().sparseMisses, 0);
+}
+
+TEST_F(RouteCacheTest, AnnealDeterministicAcrossThreadCountsWithCache) {
+  const Torus cube = Torus::torus({2, 2, 2, 2});
+  Rng rng(31);
+  const CommGraph g = randomGraph(static_cast<RankId>(cube.numNodes()), 64, rng);
+  SubproblemConfig cfg;
+  cfg.annealRestarts = 8;
+  cfg.annealIters = 3000;
+  const SubproblemSolution plain = annealSearch(g, cube, cfg, nullptr);
+  // The cache hands out the same complete dense table the no-cache path
+  // builds, so the search must stay bit-identical for every thread count.
+  cfg.routeCache = std::make_shared<TieredRouteCache>(Torus::torus({4, 4, 4}));
+  for (const int threads : {1, 2, 8}) {
+    exec::ThreadPool pool(threads);
+    const SubproblemSolution cached = annealSearch(g, cube, cfg, &pool);
+    EXPECT_EQ(plain.vertexOf, cached.vertexOf) << threads << " threads";
+    EXPECT_EQ(plain.objective, cached.objective) << threads << " threads";
+    EXPECT_EQ(plain.iterations, cached.iterations);
+    EXPECT_EQ(plain.probes, cached.probes);
+    EXPECT_EQ(plain.commits, cached.commits);
+  }
+  EXPECT_EQ(cfg.routeCache->stats().denseMisses, 1);  // one build, 3 reuses
+}
+
+TEST_F(RouteCacheTest, ConcurrentReadersWithConcurrentShed) {
+  // TSan target: sharded readers race a shedder; every span is validated
+  // against the dense reference, so torn reads would fail loudly too.
+  const Torus t = Torus::torus({4, 4, 2});
+  const auto dense = RouteTable::buildFull(t);
+  TieredRouteCache cache(t);
+  const auto n = static_cast<std::uint64_t>(t.numNodes());
+  constexpr int kReaders = 6;
+  std::atomic<int> mismatches{0};
+  exec::ThreadPool pool(kReaders + 1);
+  pool.parallelFor(kReaders + 1, [&](std::size_t task) {
+    if (task == kReaders) {
+      for (int i = 0; i < 200; ++i) cache.shed(0);
+      return;
+    }
+    Rng rng(0x9e3779b9ull + task);
+    TieredRouteCache::Scratch scratch;
+    for (int i = 0; i < 4000; ++i) {
+      const auto s = static_cast<NodeId>(rng.nextBounded(n));
+      const auto d = static_cast<NodeId>(rng.nextBounded(n));
+      const RouteTable::Span got = cache.read(s, d, scratch);
+      const RouteTable::Span want = dense->find(s, d);
+      bool ok = got.size == want.size;
+      for (std::size_t k = 0; ok && k < got.size; ++k) {
+        ok = got.channels[k] == want.channels[k] &&
+             got.fracs[k] == want.fracs[k];
+      }
+      if (!ok) mismatches.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(RouteCacheTest, DegradeCallbackShedsUnderBudget) {
+  obs::MemRegistry& reg = obs::MemRegistry::instance();
+  const Torus t = Torus::torus({4, 4, 4});
+  TieredRouteCache cache(t);  // registers its degrade callback
+  TieredRouteCache::Scratch scratch;
+  const auto n = static_cast<NodeId>(t.numNodes());
+  // Warm a healthy sparse working set, then arm a budget whose DEGRADE
+  // stage the ballast below will cross.
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) cache.read(s, d, scratch);
+  }
+  const std::int64_t warmBytes = cache.stats().sparseBytes;
+  ASSERT_GT(warmBytes, 0);
+  reg.setBudgetBytes(10 * kMb);
+
+  {
+    obs::MemAccount ballast(obs::MemAccountId::Other, 6 * kMb);
+    obs::MemAccount work(obs::MemAccountId::Simnet, 0);
+    work.add(4 * kMb + kMb / 2);  // cross 100%: DEGRADE fires the chain
+    EXPECT_GE(reg.budgetStage(), 2);
+    EXPECT_GE(reg.degradeInvocations(), 1);
+  }
+
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_LT(stats.sparseBytes, warmBytes);
+  // Reads keep working after the shed — they refault.
+  cache.read(0, 1, scratch);
+  EXPECT_GT(cache.stats().refaults, 0);
+}
+
+TEST_F(RouteCacheTest, FlowSimWithSharedCacheMatchesPrivateTable) {
+  // SimConfig::routeCache: flow mode reading routes through the shared
+  // cache must reproduce the private-lazy-table result exactly — cycles,
+  // conservation quantities, and the per-dimension load distribution —
+  // including after the cache loses entries to a shed mid-sequence.
+  const Torus t = Torus::torus({4, 4, 2});
+  const auto nodes = static_cast<RankId>(t.numNodes());
+  Mapping m(nodes * 2);
+  for (RankId r = 0; r < nodes * 2; ++r) m.assign(r, r / 2, r % 2);
+  Rng rng(47);
+  simnet::Phase phase;
+  for (int i = 0; i < 200; ++i) {
+    simnet::Message msg;
+    msg.src = static_cast<RankId>(rng.nextBounded(nodes * 2));
+    msg.dst = static_cast<RankId>(rng.nextBounded(nodes * 2));
+    msg.bytes = static_cast<std::int64_t>(rng.nextBounded(4096) + 64);
+    phase.push_back(msg);
+  }
+  const std::vector<simnet::Phase> stages = {phase};
+
+  simnet::SimConfig plain;
+  plain.fidelity = simnet::SimFidelity::Flow;
+  const simnet::PhaseResult want = simulateIteration(t, m, stages, plain);
+
+  const auto cache = std::make_shared<TieredRouteCache>(t);
+  simnet::SimConfig shared = plain;
+  shared.routeCache = cache;
+  for (int round = 0; round < 2; ++round) {
+    const simnet::PhaseResult got = simulateIteration(t, m, stages, shared);
+    EXPECT_EQ(got.cycles, want.cycles);
+    EXPECT_EQ(got.networkFlits, want.networkFlits);
+    EXPECT_EQ(got.localFlits, want.localFlits);
+    EXPECT_EQ(got.flitHops, want.flitHops);
+    EXPECT_EQ(got.maxChannelFlits, want.maxChannelFlits);
+    ASSERT_EQ(got.dimFlits.size(), want.dimFlits.size());
+    for (std::size_t d = 0; d < got.dimFlits.size(); ++d) {
+      EXPECT_EQ(got.dimFlits[d], want.dimFlits[d]) << "dim " << d;
+    }
+    // Round 2 runs evict-and-refault.
+    EXPECT_GT(cache->shed(0), 0);
+  }
+  EXPECT_GT(cache->stats().refaults, 0);
+}
+
+}  // namespace
+}  // namespace rahtm
